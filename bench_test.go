@@ -1,0 +1,75 @@
+package dmdp
+
+// One benchmark per paper table/figure: each regenerates the experiment's
+// rows via the harness (at a reduced instruction budget so `go test
+// -bench=.` finishes quickly; cmd/experiments runs the full-budget
+// reproduction). b.N loops re-run the full pipeline: workload generation,
+// assembly, functional emulation, dependence analysis and the cycle-level
+// simulations behind the artifact.
+
+import (
+	"testing"
+
+	"dmdp/internal/experiments"
+)
+
+const benchBudget = 20_000
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Options{Budget: benchBudget, Parallel: true})
+		if err := r.Prefetch(); err != nil {
+			b.Fatal(err)
+		}
+		out, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+func BenchmarkFig2LoadDistribution(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3DelayedVsBypassing(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig5LowConfidenceBreakdown(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig12Speedup(b *testing.B)               { benchExperiment(b, "fig12") }
+func BenchmarkFig14StoreBufferSize(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkFig15EDP(b *testing.B)                   { benchExperiment(b, "fig15") }
+func BenchmarkTableIVLoadExecTime(b *testing.B)        { benchExperiment(b, "tab4") }
+func BenchmarkTableVLowConfLoads(b *testing.B)         { benchExperiment(b, "tab5") }
+func BenchmarkTableVIMPKI(b *testing.B)                { benchExperiment(b, "tab6") }
+func BenchmarkTableVIIReexecStalls(b *testing.B)       { benchExperiment(b, "tab7") }
+func BenchmarkAltIssue4(b *testing.B)                  { benchExperiment(b, "alt-issue4") }
+func BenchmarkAltROB512(b *testing.B)                  { benchExperiment(b, "alt-rob512") }
+func BenchmarkAltRMO(b *testing.B)                     { benchExperiment(b, "alt-rmo") }
+func BenchmarkAltPRF160(b *testing.B)                  { benchExperiment(b, "alt-prf160") }
+func BenchmarkAblSilentPolicy(b *testing.B)            { benchExperiment(b, "abl-silent") }
+func BenchmarkAblBiasedConfidence(b *testing.B)        { benchExperiment(b, "abl-biased") }
+func BenchmarkAblTAGE(b *testing.B)                    { benchExperiment(b, "abl-tage") }
+func BenchmarkAblCoalescing(b *testing.B)              { benchExperiment(b, "abl-coalesce") }
+func BenchmarkAblInvalidations(b *testing.B)           { benchExperiment(b, "abl-inval") }
+func BenchmarkAltFnF(b *testing.B)                     { benchExperiment(b, "alt-fnf") }
+func BenchmarkAblPrefetch(b *testing.B)                { benchExperiment(b, "abl-prefetch") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per wall-clock second) of the DMDP core on one proxy.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr, err := BuildWorkloadTrace("gcc", 50_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(DMDP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(tr.Entries)))
+}

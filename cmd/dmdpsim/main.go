@@ -1,0 +1,158 @@
+// Command dmdpsim runs one proxy benchmark (or an assembly file) under
+// one store-load communication model and prints the run's statistics.
+//
+// Usage:
+//
+//	dmdpsim -bench hmmer -model dmdp -instr 300000
+//	dmdpsim -file prog.s -model nosq
+//	dmdpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmdp"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "hmmer", "proxy benchmark name (see -list)")
+		file      = flag.String("file", "", "assembly file to run instead of a proxy benchmark")
+		modelName = flag.String("model", "dmdp", "model: baseline | nosq | dmdp | perfect | fnf")
+		instr     = flag.Int64("instr", 300_000, "instruction budget")
+		sbSize    = flag.Int("sb", 0, "store buffer entries (0 = default 32)")
+		width     = flag.Int("width", 0, "issue width (0 = default 8)")
+		rob       = flag.Int("rob", 0, "ROB entries (0 = default 256)")
+		physRegs  = flag.Int("physregs", 0, "physical registers (0 = default 320)")
+		rmo       = flag.Bool("rmo", false, "use RMO consistency instead of TSO")
+		list      = flag.Bool("list", false, "list proxy benchmarks and exit")
+		pipeview  = flag.Int("pipeview", 0, "render a pipeline view of the first N retired instructions")
+		src       = flag.Bool("source", false, "print the benchmark's generated assembly and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Integer:", strings.Join(dmdp.IntWorkloads(), " "))
+		fmt.Println("Float:  ", strings.Join(dmdp.FloatWorkloads(), " "))
+		return
+	}
+
+	model, err := parseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := dmdp.DefaultConfig(model)
+	if *sbSize > 0 {
+		cfg = cfg.WithStoreBuffer(*sbSize)
+	}
+	if *width > 0 {
+		cfg = cfg.WithIssueWidth(*width)
+	}
+	if *rob > 0 {
+		cfg = cfg.WithROB(*rob)
+	}
+	if *physRegs > 0 {
+		cfg = cfg.WithPhysRegs(*physRegs)
+	}
+	if *rmo {
+		cfg = cfg.WithConsistency(dmdp.RMO)
+	}
+
+	if *src {
+		s, err := dmdp.WorkloadSource(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+		return
+	}
+
+	var tr *dmdp.Trace
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		if len(data) >= 4 && string(data[:4]) == "DMO1" {
+			tr, err = dmdp.LoadObject(data, *instr)
+		} else {
+			tr, err = dmdp.BuildTrace(string(data), *instr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		tr, err = dmdp.BuildWorkloadTrace(*benchName, *instr)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *pipeview > 0 {
+		st, pt, err := dmdp.RunTraced(cfg, tr, *pipeview)
+		if err != nil {
+			fatal(err)
+		}
+		pt.Render(os.Stdout)
+		fmt.Println()
+		printStats(model, st)
+		return
+	}
+	st, err := dmdp.Run(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+	printStats(model, st)
+}
+
+func parseModel(s string) (dmdp.Model, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return dmdp.Baseline, nil
+	case "nosq":
+		return dmdp.NoSQ, nil
+	case "dmdp":
+		return dmdp.DMDP, nil
+	case "perfect":
+		return dmdp.Perfect, nil
+	case "fnf":
+		return dmdp.FnF, nil
+	}
+	return 0, fmt.Errorf("unknown model %q (baseline|nosq|dmdp|perfect|fnf)", s)
+}
+
+func printStats(model dmdp.Model, st *dmdp.Stats) {
+	e := dmdp.Energy(st)
+	fmt.Printf("model              %s\n", model)
+	fmt.Printf("instructions       %d\n", st.Instructions)
+	fmt.Printf("uops               %d\n", st.Uops)
+	fmt.Printf("cycles             %d\n", st.Cycles)
+	fmt.Printf("IPC                %.3f\n", st.IPC())
+	fmt.Printf("loads              %d (direct %d, bypass %d, delayed %d, predicated %d)\n",
+		st.TotalLoads(), st.LoadCount[0], st.LoadCount[1], st.LoadCount[2], st.LoadCount[3])
+	fmt.Printf("mean load time     %.2f cycles (p50<=%d, p90<=%d, p99<=%d)\n",
+		st.MeanLoadExecTime(),
+		st.LoadLatencyPercentile(50), st.LoadLatencyPercentile(90), st.LoadLatencyPercentile(99))
+	fmt.Printf("low-conf loads     %d (mean %.2f cycles)\n", st.LowConfCount, st.MeanLowConfExecTime())
+	fmt.Printf("cloaks             %d\n", st.Cloaks)
+	fmt.Printf("predications       %d\n", st.Predications)
+	fmt.Printf("delayed loads      %d\n", st.DelayedLoads)
+	fmt.Printf("dep mispredicts    %d (%.2f MPKI; direct %d, bypass %d, delayed %d, predicated %d)\n",
+		st.DepMispredicts, st.MPKI(),
+		st.DepMispredictsByCat[0], st.DepMispredictsByCat[1], st.DepMispredictsByCat[2], st.DepMispredictsByCat[3])
+	fmt.Printf("re-executions      %d (stall %.1f cyc/1k instr)\n", st.Reexecs, st.ReexecStallsPerKilo())
+	fmt.Printf("SB-full stalls     %.1f cyc/1k instr\n", st.SBStallsPerKilo())
+	fmt.Printf("branch mispredicts %d\n", st.BranchMispredicts)
+	fmt.Printf("L1 miss rate       %.1f%%\n", 100*st.L1MissRate)
+	fmt.Printf("energy             %.1f uJ (EPI %.1f pJ)\n", e.TotalPJ/1e6, e.EPI)
+	fmt.Printf("EDP                %.3e pJ*cyc\n", e.EDP)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmdpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments                     # everything, 300k instructions/proxy
+//	experiments -only fig12,tab6    # a subset
+//	experiments -instr 100000       # smaller budget
+//	experiments -bench hmmer,bzip2  # benchmark subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dmdp/internal/experiments"
+)
+
+func main() {
+	var (
+		instr    = flag.String("instr", "300000", "instruction budget per proxy")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
+		listFlag = flag.Bool("list", false, "list experiment ids and exit")
+		serial   = flag.Bool("serial", false, "disable parallel simulation")
+		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var budget int64
+	if _, err := fmt.Sscan(*instr, &budget); err != nil || budget <= 0 {
+		fatal(fmt.Errorf("bad -instr %q", *instr))
+	}
+	opt := experiments.Options{Budget: budget, Parallel: !*serial}
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+	r := experiments.NewRunner(opt)
+
+	selected := experiments.All()
+	if *only != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	if err := r.Prefetch(); err != nil {
+		fatal(err)
+	}
+	for _, e := range selected {
+		t0 := time.Now()
+		out, err := e.Run(r)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("==== %s — %s (%.1fs) ====\n", e.ID, e.Title, time.Since(t0).Seconds())
+		fmt.Println(out)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Printf("total: %.1fs, budget %d instructions x %d benchmarks\n",
+		time.Since(start).Seconds(), budget, len(r.Benchmarks()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+package dmdp
+
+import (
+	"strings"
+	"testing"
+
+	"dmdp/internal/asm"
+)
+
+// asmAssemble avoids importing the assembler at every call site.
+var asmAssemble = asm.Assemble
+
+func TestWorkloadLists(t *testing.T) {
+	if len(Workloads()) != 21 || len(IntWorkloads()) != 10 || len(FloatWorkloads()) != 11 {
+		t.Fatal("workload suite composition wrong")
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	st, err := RunWorkload(DefaultConfig(DMDP), "perl", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 10_000 || st.IPC() <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRunSource(t *testing.T) {
+	src := `
+	li $t0, 100
+loop:
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	halt
+`
+	st, err := RunSource(DefaultConfig(Baseline), src, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 202 { // li + 100*(addi+bnez) + halt
+		t.Fatalf("instructions = %d", st.Instructions)
+	}
+}
+
+func TestRunSourceErrors(t *testing.T) {
+	if _, err := RunSource(DefaultConfig(DMDP), "bogus instruction", 100); err == nil {
+		t.Fatal("expected assembly error")
+	}
+	if _, err := RunWorkload(DefaultConfig(DMDP), "no-such-bench", 100); err == nil {
+		t.Fatal("expected unknown workload error")
+	}
+	if _, err := WorkloadSource("no-such-bench"); err == nil {
+		t.Fatal("expected unknown workload error")
+	}
+}
+
+func TestWorkloadSource(t *testing.T) {
+	src, err := WorkloadSource("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "main:") || !strings.Contains(src, ".data") {
+		t.Fatal("source looks wrong")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	st, err := RunWorkload(DefaultConfig(NoSQ), "perl", 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Energy(st)
+	if e.TotalPJ <= 0 || e.EDP <= 0 || e.EPI <= 0 {
+		t.Fatalf("energy: %+v", e)
+	}
+}
+
+func TestConfigVariants(t *testing.T) {
+	tr, err := BuildWorkloadTrace("gcc", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Config{
+		DefaultConfig(DMDP).WithIssueWidth(4),
+		DefaultConfig(DMDP).WithROB(512),
+		DefaultConfig(DMDP).WithPhysRegs(160),
+		DefaultConfig(DMDP).WithStoreBuffer(16),
+		DefaultConfig(DMDP).WithConsistency(RMO),
+	}
+	for i, cfg := range variants {
+		st, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if st.Instructions != 10_000 {
+			t.Fatalf("variant %d incomplete", i)
+		}
+	}
+}
+
+func TestRunTracedRendersPipeline(t *testing.T) {
+	tr, err := BuildWorkloadTrace("perl", 3_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, pt, err := RunTraced(DefaultConfig(DMDP), tr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 3_000 {
+		t.Fatalf("instructions %d", st.Instructions)
+	}
+	var b strings.Builder
+	pt.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "pipeview") || !strings.Contains(out, "R") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	if len(pt.Records) != 20 {
+		t.Fatalf("records %d", len(pt.Records))
+	}
+}
+
+func TestLoadObjectRoundTrip(t *testing.T) {
+	src := `
+	li $t0, 7
+	sw $t0, -4($sp)
+	lw $t1, -4($sp)
+	halt
+`
+	p, err := asmAssemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadObject(blob, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(DefaultConfig(NoSQ), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalLoads() != 1 {
+		t.Fatalf("loads %d", st.TotalLoads())
+	}
+	if _, err := LoadObject([]byte("garbage"), 100); err == nil {
+		t.Fatal("garbage object must fail")
+	}
+}
+
+func TestWarmupFacade(t *testing.T) {
+	cfg := DefaultConfig(DMDP).WithWarmup(2_000)
+	st, err := RunWorkload(cfg, "perl", 6_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 4_000 {
+		t.Fatalf("measured %d instructions, want 4000", st.Instructions)
+	}
+}

@@ -1,0 +1,53 @@
+// Consistency: the multi-core hooks of paper §IV-F. A remote core's
+// cache line invalidations are injected while a proxy runs: each
+// invalidated line's words are written into the T-SSBF with SSNcommit+1,
+// so every in-flight load that already read them re-executes at retire.
+// Correctness is preserved by construction (the simulator verifies every
+// retired load's value); the cost shows up as extra re-executions. The
+// example also contrasts TSO with RMO store buffering.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmdp"
+)
+
+func main() {
+	const bench = "gcc"
+	const budget = 150_000
+
+	tr, err := dmdp.BuildWorkloadTrace(bench, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s (DMDP), %d instructions\n\n", bench, budget)
+	fmt.Printf("%-28s %8s %10s %10s %8s\n", "configuration", "IPC", "reexecs", "invals", "MPKI")
+
+	type cfgRow struct {
+		name string
+		cfg  dmdp.Config
+	}
+	rows := []cfgRow{
+		{"TSO, quiet", dmdp.DefaultConfig(dmdp.DMDP)},
+		{"TSO, invalidate/4k cycles", dmdp.DefaultConfig(dmdp.DMDP).WithInvalidations(4000)},
+		{"TSO, invalidate/1k cycles", dmdp.DefaultConfig(dmdp.DMDP).WithInvalidations(1000)},
+		{"RMO, quiet", dmdp.DefaultConfig(dmdp.DMDP).WithConsistency(dmdp.RMO)},
+		{"RMO, invalidate/1k cycles", dmdp.DefaultConfig(dmdp.DMDP).WithConsistency(dmdp.RMO).WithInvalidations(1000)},
+	}
+	for _, r := range rows {
+		st, err := dmdp.Run(r.cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8.3f %10d %10d %8.2f\n",
+			r.name, st.IPC(), st.Reexecs, st.Invalidations, st.MPKI())
+	}
+
+	fmt.Println("\nInvalidated words enter the T-SSBF with SSNcommit+1 (paper §IV-F),")
+	fmt.Println("forcing vulnerable in-flight loads to re-execute after the store")
+	fmt.Println("buffer drains. The simulator's built-in soundness check proves no")
+	fmt.Println("stale value ever retires.")
+}

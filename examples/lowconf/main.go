@@ -1,0 +1,56 @@
+// Lowconf: dissect how the two store-queue-free designs treat
+// low-confidence memory dependence predictions (paper Table V / Fig. 5).
+// NoSQ parks such loads until the predicted store commits; DMDP issues
+// them immediately under a predicate. The example prints the resulting
+// execution-time gap and the ground-truth outcome mix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmdp"
+)
+
+func main() {
+	const budget = 150_000
+	benches := []string{"wrf", "milc", "gcc", "astar"}
+
+	for _, bench := range benches {
+		tr, err := dmdp.BuildWorkloadTrace(bench, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nosq, err := dmdp.Run(dmdp.DefaultConfig(dmdp.NoSQ), tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dm, err := dmdp.Run(dmdp.DefaultConfig(dmdp.DMDP), tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("== %s ==\n", bench)
+		fmt.Printf("  low-confidence loads: nosq %d (delayed), dmdp %d (predicated)\n",
+			nosq.LowConfCount, dm.LowConfCount)
+		fmt.Printf("  mean low-conf execution time: nosq %.2f cyc, dmdp %.2f cyc",
+			nosq.MeanLowConfExecTime(), dm.MeanLowConfExecTime())
+		if n := nosq.MeanLowConfExecTime(); n > 0 {
+			fmt.Printf("  (saving %.1f%%)", 100*(n-dm.MeanLowConfExecTime())/n)
+		}
+		fmt.Println()
+		if dm.LowConfCount > 0 {
+			n := float64(dm.LowConfCount)
+			fmt.Printf("  dmdp outcome mix: IndepStore %.1f%%, DiffStore %.1f%%, Correct %.1f%%\n",
+				100*float64(dm.LowConfOutcomes[0])/n,
+				100*float64(dm.LowConfOutcomes[1])/n,
+				100*float64(dm.LowConfOutcomes[2])/n)
+		}
+		fmt.Printf("  IPC: nosq %.3f, dmdp %.3f (%+.2f%%)\n\n",
+			nosq.IPC(), dm.IPC(), 100*(dm.IPC()/nosq.IPC()-1))
+	}
+
+	fmt.Println("paper: DMDP saves 54.48% of low-confidence load execution time on")
+	fmt.Println("average (up to 79.25%), and IndepStore dominates the outcome mix —")
+	fmt.Println("which is exactly the case predication handles without misprediction.")
+}

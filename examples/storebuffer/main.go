@@ -1,0 +1,44 @@
+// Storebuffer: the paper's Figure 14 study on one benchmark — because
+// SQ-free loads never search the store buffer, it can grow cheaply, and a
+// bigger buffer hides more store misses. lbm (write-heavy streaming) is
+// the most sensitive benchmark in the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmdp"
+)
+
+func main() {
+	const bench = "lbm"
+	const budget = 150_000
+
+	tr, err := dmdp.BuildWorkloadTrace(bench, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s (DMDP), %d instructions\n\n", bench, budget)
+	fmt.Printf("%6s %10s %10s %16s %14s\n",
+		"SBsize", "cycles", "IPC", "SBstall/1k", "vs 16-entry")
+
+	var base float64
+	for _, n := range []int{16, 32, 64, 128} {
+		cfg := dmdp.DefaultConfig(dmdp.DMDP).WithStoreBuffer(n)
+		st, err := dmdp.Run(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n == 16 {
+			base = st.IPC()
+		}
+		fmt.Printf("%6d %10d %10.3f %16.1f %+13.2f%%\n",
+			n, st.Cycles, st.IPC(), st.SBStallsPerKilo(), 100*(st.IPC()/base-1))
+	}
+
+	fmt.Println("\npaper (geomean over the suite): 32-entry +2.07% Int / +3.81% FP,")
+	fmt.Println("64-entry +2.77% Int / +5.01% FP over 16 entries; stalls per 1k")
+	fmt.Println("instructions drop 503.1 -> 220.5 -> 75.0.")
+}

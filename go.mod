@@ -1,0 +1,3 @@
+module dmdp
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package bpred implements the front-end branch predictor: a gshare
+// direction predictor, a branch target buffer for indirect targets and a
+// return-address stack. It also exports the global history register the
+// path-sensitive Store Distance Predictor indexes with (paper §IV-A d).
+package bpred
+
+import "dmdp/internal/isa"
+
+// Config sets predictor geometry.
+type Config struct {
+	GshareBits  int // log2 of the 2-bit counter table
+	BTBEntries  int // direct-mapped BTB size (power of two)
+	RASEntries  int
+	HistoryBits int // global history length (also feeds the path-sensitive SDP)
+	// Tournament adds a bimodal table and a per-PC chooser that selects
+	// between the bimodal and gshare components.
+	Tournament bool
+}
+
+// DefaultConfig is a 64K-entry gshare with a 4K-entry BTB and a 32-deep RAS.
+func DefaultConfig() Config {
+	return Config{GshareBits: 16, BTBEntries: 4096, RASEntries: 32, HistoryBits: 12}
+}
+
+type btbEntry struct {
+	tag    uint32
+	target uint32
+	valid  bool
+}
+
+// Predictor is the composite front-end predictor.
+type Predictor struct {
+	cfg      Config
+	counters []uint8 // gshare 2-bit counters
+	bimodal  []uint8 // tournament: PC-indexed 2-bit counters
+	chooser  []uint8 // tournament: 0-1 favour bimodal, 2-3 favour gshare
+	btb      []btbEntry
+	ras      []uint32
+	rasTop   int
+	history  uint32
+
+	// Stats.
+	Lookups, Mispredicts int64
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:      cfg,
+		counters: make([]uint8, 1<<cfg.GshareBits),
+		btb:      make([]btbEntry, cfg.BTBEntries),
+		ras:      make([]uint32, cfg.RASEntries),
+	}
+	if cfg.Tournament {
+		p.bimodal = make([]uint8, 1<<cfg.GshareBits)
+		p.chooser = make([]uint8, 1<<cfg.GshareBits)
+		for i := range p.chooser {
+			p.chooser[i] = 2 // start favouring gshare
+		}
+	}
+	return p
+}
+
+func (p *Predictor) gshareIndex(pc uint32) uint32 {
+	return (pc>>2 ^ p.history) & uint32(len(p.counters)-1)
+}
+
+func (p *Predictor) btbIndex(pc uint32) uint32 {
+	return pc >> 2 & uint32(len(p.btb)-1)
+}
+
+// History returns the low HistoryBits of the global branch history
+// register (most recent outcome in bit 0).
+func (p *Predictor) History() uint32 {
+	return p.history & (1<<p.cfg.HistoryBits - 1)
+}
+
+// PredictAndTrain predicts the control instruction at pc, immediately
+// trains with the actual outcome and returns whether the prediction
+// (direction and target) was correct. The trace-driven front end fetches
+// down the correct path, so prediction and resolution are combined; the
+// core charges the misprediction penalty when this returns false.
+func (p *Predictor) PredictAndTrain(pc uint32, op isa.Op, taken bool, target uint32) bool {
+	p.Lookups++
+	correct := true
+	switch {
+	case op.IsBranch():
+		idx := p.gshareIndex(pc)
+		gshareTaken := p.counters[idx] >= 2
+		predTaken := gshareTaken
+		var bidx uint32
+		var bimodalTaken bool
+		if p.cfg.Tournament {
+			bidx = pc >> 2 & uint32(len(p.bimodal)-1)
+			bimodalTaken = p.bimodal[bidx] >= 2
+			if p.chooser[bidx] < 2 {
+				predTaken = bimodalTaken
+			}
+		}
+		if predTaken != taken {
+			correct = false
+		} else if taken {
+			// Direction right; a taken branch also needs its target,
+			// which the BTB provides for PC-relative branches.
+			b := &p.btb[p.btbIndex(pc)]
+			if !b.valid || b.tag != pc || b.target != target {
+				correct = false
+			}
+		}
+		// Train counters, chooser, BTB, history.
+		if taken && p.counters[idx] < 3 {
+			p.counters[idx]++
+		} else if !taken && p.counters[idx] > 0 {
+			p.counters[idx]--
+		}
+		if p.cfg.Tournament {
+			if taken && p.bimodal[bidx] < 3 {
+				p.bimodal[bidx]++
+			} else if !taken && p.bimodal[bidx] > 0 {
+				p.bimodal[bidx]--
+			}
+			// The chooser moves toward whichever component was right
+			// when they disagree.
+			if gshareTaken != bimodalTaken {
+				if gshareTaken == taken && p.chooser[bidx] < 3 {
+					p.chooser[bidx]++
+				} else if bimodalTaken == taken && p.chooser[bidx] > 0 {
+					p.chooser[bidx]--
+				}
+			}
+		}
+		if taken {
+			p.btb[p.btbIndex(pc)] = btbEntry{tag: pc, target: target, valid: true}
+		}
+		p.history = p.history<<1 | b2u(taken)
+	case op == isa.OpJ:
+		// Direct target, known at decode.
+	case op == isa.OpJAL:
+		p.push(pc + 4)
+	case op == isa.OpJALR:
+		// Indirect call: target via BTB, push the return address.
+		b := &p.btb[p.btbIndex(pc)]
+		if !b.valid || b.tag != pc || b.target != target {
+			correct = false
+		}
+		p.btb[p.btbIndex(pc)] = btbEntry{tag: pc, target: target, valid: true}
+		p.push(pc + 4)
+	case op == isa.OpJR:
+		// Return: predict via RAS.
+		if p.pop() != target {
+			correct = false
+		}
+	}
+	if !correct {
+		p.Mispredicts++
+	}
+	return correct
+}
+
+func (p *Predictor) push(addr uint32) {
+	p.ras[p.rasTop%len(p.ras)] = addr
+	p.rasTop++
+}
+
+func (p *Predictor) pop() uint32 {
+	if p.rasTop == 0 {
+		return 0
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)]
+}
+
+// MispredictRate returns Mispredicts/Lookups.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package bpred
+
+import (
+	"testing"
+
+	"dmdp/internal/isa"
+)
+
+func small() Config {
+	return Config{GshareBits: 10, BTBEntries: 64, RASEntries: 8, HistoryBits: 8}
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(small())
+	pc, target := uint32(0x1000), uint32(0x2000)
+	var lastFour int
+	for i := 0; i < 20; i++ {
+		if p.PredictAndTrain(pc, isa.OpBEQ, true, target) && i >= 16 {
+			lastFour++
+		}
+	}
+	if lastFour != 4 {
+		t.Fatalf("predictor failed to learn always-taken: %d/4 correct at end", lastFour)
+	}
+}
+
+func TestLearnsNotTaken(t *testing.T) {
+	p := New(small())
+	pc := uint32(0x3000)
+	// Counters start at 0 (strong not-taken), so not-taken branches are
+	// predicted correctly immediately (direction only; no target needed).
+	if !p.PredictAndTrain(pc, isa.OpBNE, false, 0) {
+		t.Fatal("not-taken should predict correctly from cold state")
+	}
+}
+
+func TestBTBColdMissOnTakenBranch(t *testing.T) {
+	p := New(small())
+	pc, target := uint32(0x1000), uint32(0x2000)
+	// Warm the direction counters (the global history shifts the gshare
+	// index each call, so it takes several iterations for the history to
+	// saturate and the index to stabilize).
+	for i := 0; i < 16; i++ {
+		p.PredictAndTrain(pc, isa.OpBEQ, true, target)
+	}
+	// Now direction predicts taken and BTB has the target.
+	if !p.PredictAndTrain(pc, isa.OpBEQ, true, target) {
+		t.Fatal("warm taken branch should predict correctly")
+	}
+	// A different target (e.g. aliased BTB entry) must mispredict once.
+	if p.PredictAndTrain(pc, isa.OpBEQ, true, target+8) {
+		t.Fatal("changed target must mispredict")
+	}
+}
+
+func TestDirectJumpsAlwaysCorrect(t *testing.T) {
+	p := New(small())
+	if !p.PredictAndTrain(0x100, isa.OpJ, true, 0x4000) {
+		t.Fatal("j must always be correct")
+	}
+	if !p.PredictAndTrain(0x104, isa.OpJAL, true, 0x4000) {
+		t.Fatal("jal must always be correct")
+	}
+}
+
+func TestRASCallReturn(t *testing.T) {
+	p := New(small())
+	p.PredictAndTrain(0x100, isa.OpJAL, true, 0x4000)
+	if !p.PredictAndTrain(0x4010, isa.OpJR, true, 0x104) {
+		t.Fatal("return should be predicted by RAS")
+	}
+	// Unbalanced return mispredicts.
+	if p.PredictAndTrain(0x4010, isa.OpJR, true, 0x104) {
+		t.Fatal("empty RAS should mispredict")
+	}
+}
+
+func TestRASNested(t *testing.T) {
+	p := New(small())
+	p.PredictAndTrain(0x100, isa.OpJAL, true, 0x4000)  // ret 0x104
+	p.PredictAndTrain(0x4000, isa.OpJAL, true, 0x5000) // ret 0x4004
+	if !p.PredictAndTrain(0x5000, isa.OpJR, true, 0x4004) {
+		t.Fatal("inner return wrong")
+	}
+	if !p.PredictAndTrain(0x4004, isa.OpJR, true, 0x104) {
+		t.Fatal("outer return wrong")
+	}
+}
+
+func TestJALRUsesBTBAndPushes(t *testing.T) {
+	p := New(small())
+	// Cold: BTB miss.
+	if p.PredictAndTrain(0x200, isa.OpJALR, true, 0x6000) {
+		t.Fatal("cold jalr must mispredict")
+	}
+	// Warm: correct, and the return is predicted too.
+	if !p.PredictAndTrain(0x200, isa.OpJALR, true, 0x6000) {
+		t.Fatal("warm jalr should be correct")
+	}
+	if !p.PredictAndTrain(0x6000, isa.OpJR, true, 0x204) {
+		t.Fatal("jalr return should be on the RAS")
+	}
+}
+
+func TestHistoryTracksOutcomes(t *testing.T) {
+	p := New(small())
+	p.PredictAndTrain(0x10, isa.OpBEQ, true, 0x40)
+	p.PredictAndTrain(0x14, isa.OpBEQ, false, 0)
+	p.PredictAndTrain(0x18, isa.OpBEQ, true, 0x40)
+	if got := p.History() & 7; got != 0b101 {
+		t.Fatalf("history = %03b, want 101", got)
+	}
+}
+
+func TestHistoryWidthMasked(t *testing.T) {
+	p := New(Config{GshareBits: 10, BTBEntries: 64, RASEntries: 8, HistoryBits: 4})
+	for i := 0; i < 100; i++ {
+		p.PredictAndTrain(0x10, isa.OpBEQ, true, 0x40)
+	}
+	if p.History() > 0xf {
+		t.Fatalf("history exceeds 4 bits: %x", p.History())
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	p := New(small())
+	p.PredictAndTrain(0x10, isa.OpBEQ, true, 0x40) // cold: wrong
+	p.PredictAndTrain(0x10, isa.OpBEQ, false, 0)   // counter now 1 -> predicts NT: right
+	if p.Lookups != 2 || p.Mispredicts != 1 {
+		t.Fatalf("lookups %d mispredicts %d", p.Lookups, p.Mispredicts)
+	}
+	if p.MispredictRate() != 0.5 {
+		t.Fatalf("rate %f", p.MispredictRate())
+	}
+}
+
+// A loop-closing branch pattern (N-1 taken, 1 not-taken) should reach high
+// accuracy with gshare once history disambiguates the iterations.
+func TestLoopPattern(t *testing.T) {
+	p := New(small())
+	pc, target := uint32(0x100), uint32(0x80)
+	correct, total := 0, 0
+	for rep := 0; rep < 200; rep++ {
+		for i := 0; i < 4; i++ {
+			taken := i != 3
+			tgt := uint32(0)
+			if taken {
+				tgt = target
+			}
+			ok := p.PredictAndTrain(pc, isa.OpBNE, taken, tgt)
+			if rep >= 100 {
+				total++
+				if ok {
+					correct++
+				}
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("loop accuracy %.2f too low", acc)
+	}
+}
+
+func TestTournamentBeatsGshareOnBiasedBranches(t *testing.T) {
+	// Many independent, strongly biased branches: gshare suffers from
+	// history interference on a small table; bimodal nails them; the
+	// chooser should learn to use bimodal.
+	cfg := Config{GshareBits: 6, BTBEntries: 64, RASEntries: 8, HistoryBits: 8}
+	plain := New(cfg)
+	cfg.Tournament = true
+	tourn := New(cfg)
+	run := func(p *Predictor) int64 {
+		for i := 0; i < 6000; i++ {
+			pc := uint32(0x1000 + 4*(i%37))
+			taken := pc%3 == 0 // fixed per-PC bias
+			tgt := uint32(0)
+			if taken {
+				tgt = pc + 64
+			}
+			p.PredictAndTrain(pc, isa.OpBNE, taken, tgt)
+		}
+		return p.Mispredicts
+	}
+	mp, mt := run(plain), run(tourn)
+	if mt >= mp {
+		t.Fatalf("tournament mispredicts %d, plain gshare %d — chooser not helping", mt, mp)
+	}
+}
+
+func TestTournamentStillLearnsCorrelated(t *testing.T) {
+	cfg := Config{GshareBits: 12, BTBEntries: 64, RASEntries: 8, HistoryBits: 8, Tournament: true}
+	p := New(cfg)
+	// Alternating pattern is history-predictable (gshare side).
+	pc, tgt := uint32(0x2000), uint32(0x2040)
+	correct := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		var tg uint32
+		if taken {
+			tg = tgt
+		}
+		if p.PredictAndTrain(pc, isa.OpBEQ, taken, tg) && i > 1000 {
+			correct++
+		}
+	}
+	if correct < 900 {
+		t.Fatalf("tournament failed on alternating pattern: %d/1000", correct)
+	}
+}

@@ -1,0 +1,84 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is a straightforward reference model: per-set LRU lists.
+type refCache struct {
+	lineBytes int
+	ways      int
+	sets      map[uint32][]uint32 // set index -> line addrs, MRU first
+	numSets   uint32
+}
+
+func newRefCache(cfg Config) *refCache {
+	return &refCache{
+		lineBytes: cfg.LineBytes,
+		ways:      cfg.Ways,
+		numSets:   uint32(cfg.SizeBytes / cfg.LineBytes / cfg.Ways),
+		sets:      make(map[uint32][]uint32),
+	}
+}
+
+func (r *refCache) access(addr uint32) bool {
+	line := addr &^ uint32(r.lineBytes-1)
+	si := (line / uint32(r.lineBytes)) % r.numSets
+	set := r.sets[si]
+	for i, l := range set {
+		if l == line {
+			// Move to MRU.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	// Miss: insert at MRU, evict LRU.
+	set = append([]uint32{line}, set...)
+	if len(set) > r.ways {
+		set = set[:r.ways]
+	}
+	r.sets[si] = set
+	return false
+}
+
+// TestCacheMatchesReferenceLRU drives the cache and the reference model
+// with identical random access streams and requires identical hit/miss
+// sequences.
+func TestCacheMatchesReferenceLRU(t *testing.T) {
+	cfg := Config{SizeBytes: 2048, LineBytes: 64, Ways: 2, Latency: 1}
+	c := NewCache(cfg)
+	ref := newRefCache(cfg)
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		addr := uint32(r.Intn(1 << 14))
+		hit, _, _ := c.access(addr, r.Intn(3) == 0, true)
+		want := ref.access(addr)
+		if hit != want {
+			t.Fatalf("access %d addr 0x%x: cache hit=%v, reference=%v", i, addr, hit, want)
+		}
+	}
+	if c.Accesses != 20000 {
+		t.Fatalf("accesses %d", c.Accesses)
+	}
+}
+
+// TestHierarchyMonotoneTime: completion times never precede the request.
+func TestHierarchyMonotoneTime(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	r := rand.New(rand.NewSource(5))
+	now := int64(0)
+	for i := 0; i < 5000; i++ {
+		addr := uint32(r.Intn(1 << 22))
+		done := h.Access(now, addr, r.Intn(4) == 0)
+		if done < now {
+			t.Fatalf("completion %d before request %d", done, now)
+		}
+		if r.Intn(2) == 0 {
+			now = done
+		} else {
+			now += int64(r.Intn(10))
+		}
+	}
+}

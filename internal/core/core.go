@@ -1,0 +1,969 @@
+package core
+
+import (
+	"fmt"
+
+	"dmdp/internal/bpred"
+	"dmdp/internal/cache"
+	"dmdp/internal/config"
+	"dmdp/internal/isa"
+	"dmdp/internal/mem"
+	"dmdp/internal/memdep"
+	"dmdp/internal/tlb"
+	"dmdp/internal/trace"
+)
+
+// fetchEntry is a fetched instruction waiting to rename.
+type fetchEntry struct {
+	idx      int
+	readyAt  int64
+	blocking bool   // mispredicted control op: fetch stalls behind it
+	hist     uint32 // global branch history as of this instruction's fetch
+}
+
+// robQ is the reorder buffer (FIFO ring of in-flight instructions).
+type robQ struct {
+	buf  []*inst
+	head int
+	size int
+}
+
+func newRobQ(capacity int) *robQ { return &robQ{buf: make([]*inst, capacity)} }
+
+func (q *robQ) full() bool   { return q.size == len(q.buf) }
+func (q *robQ) empty() bool  { return q.size == 0 }
+func (q *robQ) len() int     { return q.size }
+func (q *robQ) front() *inst { return q.buf[q.head] }
+
+func (q *robQ) push(in *inst) {
+	q.buf[(q.head+q.size)%len(q.buf)] = in
+	q.size++
+}
+
+func (q *robQ) popFront() *inst {
+	in := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return in
+}
+
+// at returns the i-th oldest instruction.
+func (q *robQ) at(i int) *inst { return q.buf[(q.head+i)%len(q.buf)] }
+
+func (q *robQ) clear() {
+	for i := 0; i < q.size; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = nil
+	}
+	q.head, q.size = 0, 0
+}
+
+// Core is one timing simulation of a trace under a configuration.
+type Core struct {
+	cfg config.Config
+	tr  *trace.Trace
+
+	// Substrates.
+	hier  *cache.Hierarchy
+	tlb   *tlb.TLB
+	bp    *bpred.Predictor
+	tssbf *memdep.TSSBF
+	sdp   memdep.DistancePredictor
+	sets  *memdep.StoreSets
+	ssn   memdep.SSN
+
+	// Committed memory state (exactly the retired stores).
+	image *mem.Image
+
+	// Pipeline state.
+	now     int64
+	rf      *regFile
+	rob     *robQ
+	iqCount int
+	ready   readyHeap
+	events  eventHeap
+	delayed []*uop // gateSSNCommit uops parked until SSN.Commit advances
+
+	fq            []fetchEntry
+	fetchIdx      int
+	fetchStalled  bool  // mispredicted control op in flight
+	fetchBlockIdx int   // trace idx of the blocking op
+	blockInst     *inst // resolved once renamed
+	fetchResumeAt int64
+
+	sb  *storeBuffer
+	srb *storeRegBuffer
+
+	instBySeq map[int64]*inst // in-flight stores by dynamic seq (store sets)
+
+	seqCounter     int64
+	uopSeq         int64
+	retired        int64
+	lastRetireAt   int64
+	divBusyUntil   int64
+	fpDivBusyUntil int64
+	done           bool
+	valueErr       error
+
+	// Remote-invalidation injection state (paper §IV-F).
+	recentLines []uint32
+	invalPick   uint32
+
+	// Warmup bookkeeping: the cycle and cache counters at the end of
+	// the measurement warmup.
+	cycleBase        int64
+	warmL1A, warmL1M int64
+
+	// Fire-and-Forget state: load sequence numbers and the pending
+	// store->load forwards keyed by target LSN.
+	sft        *memdep.SFT
+	lsnRename  int64
+	lsnRetire  int64
+	pendingFwd map[int64]int64
+
+	// onDepMispredict, when set, observes each dependence exception
+	// (diagnostics/tests).
+	onDepMispredict func(*inst)
+
+	// tracer, when attached, records per-instruction stage timings.
+	tracer *PipeTracer
+
+	stats Stats
+}
+
+// New builds a core over the analyzed trace.
+func New(cfg config.Config, tr *trace.Trace) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.InitMem == nil {
+		tr.InitMem = mem.NewImage()
+	}
+	c := &Core{
+		cfg:       cfg,
+		tr:        tr,
+		hier:      cache.NewHierarchy(cfg.Hierarchy),
+		tlb:       tlb.New(cfg.TLB),
+		bp:        bpred.New(cfg.BPred),
+		tssbf:     memdep.NewTSSBF(cfg.TSSBF),
+		sdp:       newDistancePredictor(cfg),
+		sets:      memdep.NewStoreSets(cfg.SSITEntries, cfg.StoreSetCount),
+		image:     tr.InitMem.Clone(),
+		rf:        newRegFile(cfg.PhysRegs),
+		rob:       newRobQ(cfg.ROBSize),
+		sb:        newStoreBuffer(cfg.StoreBufferSize, cfg.Consistency == config.RMO),
+		srb:       newStoreRegBuffer(),
+		instBySeq: make(map[int64]*inst),
+	}
+	if cfg.Model == config.FnF {
+		c.sft = memdep.NewSFT(memdep.DefaultFnFConfig())
+		c.pendingFwd = make(map[int64]int64)
+	}
+	return c, nil
+}
+
+// Run simulates the whole trace and returns the statistics.
+func (c *Core) Run() (*Stats, error) {
+	if len(c.tr.Entries) == 0 {
+		return &c.stats, nil
+	}
+	for !c.done {
+		c.now++
+		if c.cfg.InvalidationInterval > 0 && c.now%c.cfg.InvalidationInterval == 0 {
+			c.injectInvalidation()
+		}
+		c.commitStores()
+		c.handleEvents()
+		c.retire()
+		c.issue()
+		c.rename()
+		c.fetch()
+
+		if c.now-c.lastRetireAt > 400000 {
+			head := "empty"
+			if !c.rob.empty() {
+				h := c.rob.front()
+				head = fmt.Sprintf("idx=%d %s pending=%d", h.idx, h.e.Instr, h.pending)
+			}
+			return nil, fmt.Errorf("core: no retirement for 400k cycles at cycle %d (retired %d/%d, model %s): deadlock; rob=%d head={%s} iq=%d ready=%d delayed=%d sb=%d free=%d fq=%d fetchIdx=%d stalled=%v",
+				c.now, c.retired, len(c.tr.Entries), c.cfg.Model,
+				c.rob.len(), head, c.iqCount, c.ready.Len(), len(c.delayed),
+				c.sb.len(), c.rf.freeCount(), len(c.fq), c.fetchIdx, c.fetchStalled)
+		}
+	}
+	if c.valueErr != nil {
+		return nil, c.valueErr
+	}
+	c.stats.Cycles = c.now - c.cycleBase
+	c.stats.L1MissRate = c.hier.L1D.MissRate()
+	if a := c.hier.L1D.Accesses - c.warmL1A; a > 0 && c.cfg.WarmupInstructions > 0 {
+		c.stats.L1MissRate = float64(c.hier.L1D.Misses-c.warmL1M) / float64(a)
+	}
+	c.stats.L2MissRate = c.hier.L2.MissRate()
+	c.stats.L2Accesses = c.hier.L2.Accesses
+	c.stats.DRAMAccesses = c.hier.DRAM.Reads + c.hier.DRAM.Writes
+	c.stats.TLBAccesses = c.tlb.Accesses
+	return &c.stats, nil
+}
+
+// CheckInvariants validates internal consistency (used by tests).
+func (c *Core) CheckInvariants() error { return c.rf.checkInvariants() }
+
+// newDistancePredictor picks the configured store distance predictor.
+func newDistancePredictor(cfg config.Config) memdep.DistancePredictor {
+	if cfg.UseTAGE {
+		return memdep.NewTAGESDP(memdep.DefaultTAGEConfig(cfg.SDP.Biased))
+	}
+	return memdep.NewSDP(cfg.SDP)
+}
+
+// injectInvalidation models remote-core consistency traffic (paper
+// §IV-F): a recently written cache line is invalidated; its words enter
+// the T-SSBF with SSNcommit+1 so vulnerable in-flight loads re-execute.
+func (c *Core) injectInvalidation() {
+	if len(c.recentLines) == 0 {
+		return
+	}
+	line := c.recentLines[int(c.invalPick)%len(c.recentLines)]
+	c.invalPick++
+	c.hier.Invalidate(line)
+	if c.cfg.Model != config.Baseline {
+		c.tssbf.InvalidateLine(line, c.hier.LineBytes(), c.ssn.Commit+1)
+		c.stats.TSSBFWrites += int64(c.hier.LineBytes() / 4)
+	}
+	c.stats.Invalidations++
+}
+
+// ---------- store commit ----------
+
+// commitStores advances the store buffer: completes finished cache writes
+// (applying their bytes to the committed image and publishing SSNcommit)
+// and issues new ones through a pipelined write port (one issue per
+// cycle). TSO completes strictly in order (a younger store's write
+// becomes visible no earlier than its elders), with consecutive
+// same-word coalescing; RMO may issue any entry whose word has no older
+// pending write and completes in any order, with SSNcommit trailing the
+// oldest uncommitted store.
+func (c *Core) commitStores() {
+	// Complete finished writes.
+	if c.cfg.Consistency == config.TSO {
+		for len(c.sb.entries) > 0 {
+			head := &c.sb.entries[0]
+			if !head.issued || head.doneAt > c.now {
+				break
+			}
+			c.finishCommit(0)
+		}
+	} else {
+		for {
+			progressed := false
+			for i := 0; i < len(c.sb.entries); i++ {
+				e := &c.sb.entries[i]
+				if e.issued && e.doneAt <= c.now {
+					c.finishCommit(i)
+					progressed = true
+					break
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+	}
+
+	// Issue one new commit per cycle (pipelined write port).
+	if c.sb.empty() {
+		return
+	}
+	if c.cfg.Consistency == config.TSO {
+		var lastDone int64
+		for i := 0; i < len(c.sb.entries); i++ {
+			e := &c.sb.entries[i]
+			if e.issued {
+				if e.doneAt > lastDone {
+					lastDone = e.doneAt
+				}
+				continue
+			}
+			if !c.rf.regs[e.dataPhys].ready {
+				return
+			}
+			done := c.hier.Access(c.now, e.addr, true)
+			// Enforce in-order visibility behind older stores.
+			if done <= lastDone {
+				done = lastDone + 1
+			}
+			e.issued = true
+			e.doneAt = done
+			if c.cfg.StoreCoalescing {
+				// Consecutive stores to the same word ride along.
+				for j := i + 1; j < len(c.sb.entries); j++ {
+					n := &c.sb.entries[j]
+					if n.addr&^3 != e.addr&^3 || !c.rf.regs[n.dataPhys].ready {
+						break
+					}
+					n.issued = true
+					n.doneAt = done
+					n.coalescedWith = i
+					c.stats.StoresCoalesced++
+				}
+			}
+			return
+		}
+		return
+	}
+	// RMO: issue the oldest unissued entry whose word has no older
+	// pending write (one issue per cycle).
+	for i := range c.sb.entries {
+		e := &c.sb.entries[i]
+		if e.issued || !c.rf.regs[e.dataPhys].ready {
+			continue
+		}
+		if c.sb.hasOlderSameWord(i) {
+			continue
+		}
+		e.issued = true
+		e.doneAt = c.hier.Access(c.now, e.addr, true)
+		break
+	}
+}
+
+// finishCommit applies entry i's bytes, releases its registers and
+// advances SSNcommit.
+func (c *Core) finishCommit(i int) {
+	e := c.sb.entries[i]
+	c.image.Write(e.addr, e.size, e.value)
+	if c.cfg.InvalidationInterval > 0 {
+		line := e.addr &^ uint32(c.hier.LineBytes()-1)
+		if len(c.recentLines) < 8 {
+			c.recentLines = append(c.recentLines, line)
+		} else {
+			c.recentLines[int(e.ssn)%8] = line
+		}
+	}
+	c.rf.dropConsumer(e.dataPhys)
+	c.rf.dropConsumer(e.addrPhys)
+	c.srb.remove(e.ssn)
+	c.sb.entries = append(c.sb.entries[:i], c.sb.entries[i+1:]...)
+	c.stats.StoresCommitted++
+
+	var newCommit int64
+	if c.cfg.Consistency == config.TSO {
+		newCommit = e.ssn
+	} else {
+		// RMO: SSNcommit trails the oldest store still pending. Every
+		// retired store passes through the buffer, so when it drains,
+		// everything up to SSNretire has committed.
+		newCommit = c.sb.oldestUncommittedSSN(c.ssn.Retire)
+		if newCommit < c.ssn.Commit {
+			newCommit = c.ssn.Commit
+		}
+	}
+	if newCommit > c.ssn.Commit {
+		c.ssn.Commit = newCommit
+		c.wakeDelayed()
+	}
+}
+
+// wakeDelayed re-activates parked uops whose SSNcommit gate opened.
+func (c *Core) wakeDelayed() {
+	kept := c.delayed[:0]
+	for _, u := range c.delayed {
+		switch {
+		case u.squashed:
+		case c.ssn.Commit >= u.gateSSN:
+			c.ready.push(u)
+		default:
+			kept = append(kept, u)
+		}
+	}
+	c.delayed = kept
+}
+
+// ---------- events / writeback ----------
+
+func (c *Core) handleEvents() {
+	for {
+		u := c.events.popDue(c.now)
+		if u == nil {
+			return
+		}
+		c.completeUop(u)
+	}
+}
+
+// writeback publishes a register value and wakes its waiters.
+func (c *Core) writeback(p int) {
+	if p < 0 {
+		return
+	}
+	c.stats.RegWrites++
+	for _, w := range c.rf.setReady(p, c.now) {
+		if w.squashed {
+			continue
+		}
+		w.waitCnt--
+		c.stats.IQWakeups++
+		if w.waitCnt == 0 {
+			c.dispatchReady(w)
+		}
+	}
+}
+
+// dispatchReady routes a uop whose operands are all ready: through its
+// gate (delayed-load structure, store-set wait) or into the ready queue;
+// zero-cost bookkeeping uops (cloak trackers) complete immediately.
+func (c *Core) dispatchReady(u *uop) {
+	if u.squashed {
+		return
+	}
+	if u.kind == uopCloakTrack {
+		c.completeUop(u)
+		return
+	}
+	switch u.gate {
+	case gateSSNCommit:
+		if c.ssn.Commit >= u.gateSSN {
+			c.ready.push(u)
+			return
+		}
+		// Parked loads leave the IQ for the (unlimited) delayed-load
+		// structure (paper §V: NoSQ's delayed-load storage).
+		u.parked = true
+		c.leaveIQ(u)
+		c.delayed = append(c.delayed, u)
+	case gateStoreExec:
+		if u.gateInst == nil || u.gateInst.squashed || u.gateInst.addrReady {
+			c.ready.push(u)
+			return
+		}
+		u.gateInst.execWaiters = append(u.gateInst.execWaiters, u)
+	default:
+		c.ready.push(u)
+	}
+}
+
+// completeUop handles a finished micro-operation.
+func (c *Core) completeUop(u *uop) {
+	if u.squashed || u.done {
+		return
+	}
+	u.done = true
+	u.doneAt = c.now
+	in := u.inst
+
+	switch u.kind {
+	case uopALU:
+		c.writeback(u.dst)
+	case uopBranch:
+		c.writeback(u.dst)
+		if c.fetchStalled && c.blockInst == in {
+			c.fetchStalled = false
+			c.blockInst = nil
+			c.fetchResumeAt = c.now + c.cfg.RedirectPenalty
+		}
+	case uopAGI:
+		in.addrReady = true
+		c.writeback(u.dst)
+		if in.isStore() {
+			c.sets.StoreExecuted(in.e.PC, in.seq)
+			for _, w := range in.execWaiters {
+				if !w.squashed {
+					c.ready.push(w)
+				}
+			}
+			in.execWaiters = nil
+			if c.cfg.Model == config.Baseline {
+				c.checkViolations(in)
+			}
+		}
+	case uopLoad:
+		c.completeLoadAccess(u)
+	case uopCMP:
+		c.completeCMP(u)
+	case uopCMOV:
+		c.completeCMOV(u)
+	case uopCloakTrack:
+		// The predicted store's data register is ready: the cloaked
+		// load's value is available now.
+		in.valueAt = c.now
+	}
+
+	in.pending--
+	if in.pending == 0 {
+		in.completedAt = c.now
+	}
+}
+
+// ---------- issue ----------
+
+func (c *Core) issue() {
+	issued := 0
+	loadPorts := 0
+	var stash []*uop
+	for issued < c.cfg.IssueWidth && c.ready.Len() > 0 {
+		u := c.ready.pop()
+		if u.squashed {
+			continue
+		}
+		if u.kind == uopLoad && loadPorts >= c.cfg.LoadPorts {
+			stash = append(stash, u)
+			continue
+		}
+		if u.kind == uopALU {
+			switch u.class {
+			case isa.ClassDiv:
+				if c.divBusyUntil > c.now {
+					stash = append(stash, u)
+					continue
+				}
+			case isa.ClassFPDiv:
+				if c.fpDivBusyUntil > c.now {
+					stash = append(stash, u)
+					continue
+				}
+			}
+		}
+		replayed := c.issueUop(u)
+		if u.kind == uopLoad {
+			loadPorts++
+		}
+		issued++
+		if replayed {
+			continue
+		}
+	}
+	for _, u := range stash {
+		c.ready.push(u)
+	}
+}
+
+// leaveIQ releases u's issue queue slot (idempotent).
+func (c *Core) leaveIQ(u *uop) {
+	if u.counted {
+		u.counted = false
+		c.iqCount--
+	}
+}
+
+// issueUop begins execution; returns true when the uop re-gated itself
+// (baseline loads discovering an unready forwarder).
+func (c *Core) issueUop(u *uop) bool {
+	in := u.inst
+	c.leaveIQ(u)
+	u.parked = false
+	c.stats.RegReads += int64(srcCount(u))
+
+	switch u.kind {
+	case uopLoad:
+		return c.issueLoad(u)
+	case uopAGI:
+		lat := c.cfg.AGILat + c.tlb.Translate(in.e.Addr)
+		u.issued = true
+		c.events.schedule(c.now+lat, u)
+	case uopALU, uopBranch:
+		lat := c.latencyFor(u)
+		u.issued = true
+		c.events.schedule(c.now+lat, u)
+	case uopCMP, uopCMOV:
+		u.issued = true
+		c.events.schedule(c.now+1, u)
+	}
+	return false
+}
+
+func srcCount(u *uop) int {
+	n := 0
+	for _, s := range u.srcs {
+		if s >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Core) latencyFor(u *uop) int64 {
+	switch u.class {
+	case isa.ClassMul:
+		return c.cfg.MulLat
+	case isa.ClassDiv:
+		c.divBusyUntil = c.now + c.cfg.DivLat
+		return c.cfg.DivLat
+	case isa.ClassFP:
+		return c.cfg.FPLat
+	case isa.ClassFPDiv:
+		c.fpDivBusyUntil = c.now + c.cfg.FPDivLat
+		return c.cfg.FPDivLat
+	case isa.ClassBranch:
+		return c.cfg.BranchLat
+	default:
+		return c.cfg.ALULat
+	}
+}
+
+// ---------- rename ----------
+
+// spaceFor conservatively checks resources for one instruction (worst
+// case: a predicated load = 5 uops, 4 fresh registers).
+func (c *Core) spaceFor() bool {
+	return !c.rob.full() &&
+		c.rf.freeCount() >= 6 &&
+		c.iqCount+5 <= c.cfg.IQSize
+}
+
+func (c *Core) rename() {
+	for n := 0; n < c.cfg.RenameWidth; n++ {
+		if len(c.fq) == 0 {
+			return
+		}
+		fe := c.fq[0]
+		if fe.readyAt > c.now || !c.spaceFor() {
+			return
+		}
+		c.fq = c.fq[1:]
+		in := c.renameOne(fe.idx, fe.hist)
+		if fe.blocking {
+			c.blockInst = in
+			// If the blocking op completed already (e.g. a no-uop
+			// jump), unblock immediately.
+			if in.pending == 0 && c.fetchStalled {
+				c.fetchStalled = false
+				c.blockInst = nil
+				c.fetchResumeAt = c.now + c.cfg.RedirectPenalty
+			}
+		}
+	}
+}
+
+// newUop allocates a uop, wiring operand wakeup.
+func (c *Core) newUop(in *inst, kind uopKind, class isa.Class, srcs []int, dst int) *uop {
+	c.uopSeq++
+	u := &uop{
+		kind:  kind,
+		class: class,
+		inst:  in,
+		seq:   c.uopSeq,
+		dst:   dst,
+		srcs:  [3]int{-1, -1, -1},
+	}
+	for i, s := range srcs {
+		u.srcs[i] = s
+		if s >= 0 && c.rf.await(s, u) {
+			u.waitCnt++
+		}
+	}
+	in.uops = append(in.uops, u)
+	in.pending++
+	if kind != uopCloakTrack {
+		u.counted = true
+		c.iqCount++
+		c.stats.IQInserts++
+	}
+	return u
+}
+
+// finishUopSetup routes a fresh uop whose operands may already be ready.
+func (c *Core) finishUopSetup(u *uop) {
+	if u.waitCnt == 0 {
+		c.dispatchReady(u)
+	}
+}
+
+// mapDest allocates and maps a destination register.
+func (c *Core) mapDest(in *inst, l isa.Reg) int {
+	p := c.rf.alloc()
+	c.rf.rat[l] = p
+	if in.destLog < 0 && !isHardwareReg(l) {
+		in.destLog = int(l)
+		in.destPhys = p
+	} else {
+		in.auxLog = append(in.auxLog, int(l))
+		in.auxPhys = append(in.auxPhys, p)
+	}
+	return p
+}
+
+func isHardwareReg(l isa.Reg) bool { return l >= isa.HwAddr }
+
+// mapAux maps a hardware-only logical register.
+func (c *Core) mapAux(in *inst, l isa.Reg) int {
+	p := c.rf.alloc()
+	c.rf.rat[l] = p
+	in.auxLog = append(in.auxLog, int(l))
+	in.auxPhys = append(in.auxPhys, p)
+	return p
+}
+
+func (c *Core) renameOne(idx int, hist uint32) *inst {
+	e := &c.tr.Entries[idx]
+	c.seqCounter++
+	in := &inst{
+		idx:        idx,
+		e:          e,
+		seq:        c.seqCounter,
+		renamedAt:  c.now,
+		destLog:    -1,
+		destPhys:   -1,
+		predIdx:    -1,
+		forwardIdx: -1,
+		histAtRen:  hist,
+	}
+	c.stats.ROBWrites++
+	op := e.Instr.Op
+
+	switch {
+	case op == isa.OpNOP || op == isa.OpHALT || op == isa.OpJ:
+		in.completedAt = c.now
+	case op == isa.OpJAL:
+		dst := c.mapDest(in, isa.RA)
+		u := c.newUop(in, uopALU, isa.ClassALU, nil, dst)
+		c.finishUopSetup(u)
+	case op.IsLoad():
+		c.renameLoad(in)
+	case op.IsStore():
+		c.renameStore(in)
+	case op.IsBranch() || op == isa.OpJR || op == isa.OpJALR:
+		srcs := c.srcPhys(e)
+		dst := -1
+		if op == isa.OpJALR && e.Instr.Dest() != isa.NoReg {
+			dst = c.mapDest(in, e.Instr.Dest())
+		}
+		u := c.newUop(in, uopBranch, isa.ClassBranch, srcs, dst)
+		c.finishUopSetup(u)
+	default:
+		srcs := c.srcPhys(e)
+		dst := -1
+		if d := e.Instr.Dest(); d != isa.NoReg {
+			dst = c.mapDest(in, d)
+		}
+		u := c.newUop(in, uopALU, op.Class(), srcs, dst)
+		c.finishUopSetup(u)
+	}
+
+	c.rob.push(in)
+	return in
+}
+
+// srcPhys maps an instruction's logical sources through the RAT.
+func (c *Core) srcPhys(e *trace.Entry) []int {
+	var regs [3]isa.Reg
+	logical := e.Instr.Srcs(regs[:0])
+	out := make([]int, 0, len(logical))
+	for _, l := range logical {
+		out = append(out, c.rf.rat[l])
+	}
+	return out
+}
+
+// ---------- fetch ----------
+
+func (c *Core) fetch() {
+	if c.fetchIdx >= len(c.tr.Entries) {
+		return
+	}
+	if c.fetchStalled || c.now < c.fetchResumeAt {
+		c.stats.FetchStallCycles++
+		return
+	}
+	const fqCap = 64
+	for n := 0; n < c.cfg.FetchWidth && len(c.fq) < fqCap && c.fetchIdx < len(c.tr.Entries); n++ {
+		idx := c.fetchIdx
+		e := &c.tr.Entries[idx]
+		fe := fetchEntry{idx: idx, readyAt: c.now + c.cfg.FrontEndDepth, hist: c.bp.History()}
+		c.fetchIdx++
+		if e.Instr.Op.IsControl() {
+			correct := c.bp.PredictAndTrain(e.PC, e.Instr.Op, e.Taken, e.Target)
+			if !correct {
+				c.stats.BranchMispredicts++
+				fe.blocking = true
+				c.fq = append(c.fq, fe)
+				c.fetchStalled = true
+				c.fetchBlockIdx = idx
+				return
+			}
+		}
+		c.fq = append(c.fq, fe)
+	}
+}
+
+// ---------- retire ----------
+
+func (c *Core) retire() {
+	for budget := c.cfg.RetireWidth; budget > 0 && !c.rob.empty(); budget-- {
+		in := c.rob.front()
+		if !in.complete() {
+			return
+		}
+
+		if in.isLoad() {
+			switch c.verifyLoad(in) {
+			case verifyStall:
+				return
+			case verifyRecoverReplay:
+				// Baseline ordering violation: the load itself
+				// re-executes; flush everything including it.
+				c.flush(in.idx)
+				return
+			}
+		}
+
+		if in.isStore() {
+			if c.sb.full() {
+				c.stats.SBFullStall++
+				return
+			}
+			c.retireStore(in)
+		}
+
+		c.retireCommon(in)
+		c.rob.popFront()
+
+		if in.recoverAfter {
+			// Memory dependence exception: flush everything younger
+			// and refetch after the (now corrected) load.
+			c.flush(in.idx + 1)
+			return
+		}
+		if c.done {
+			return
+		}
+	}
+}
+
+func (c *Core) retireStore(in *inst) {
+	e := in.e
+	c.ssn.Retire = in.ssn
+	c.sb.push(sbEntry{
+		ssn:      in.ssn,
+		idx:      in.idx,
+		addr:     e.Addr,
+		size:     e.Size,
+		value:    e.Value,
+		dataPhys: in.dataPhys,
+		addrPhys: in.addrPhys,
+	})
+	if c.cfg.Model != config.Baseline {
+		c.tssbf.Insert(e.WordAddr(), e.BAB(), in.ssn)
+		c.stats.TSSBFWrites++
+	}
+	c.srb.markRetired(in.ssn)
+	delete(c.instBySeq, in.seq)
+}
+
+// retireCommon updates architectural rename state, releases registers and
+// accounts statistics.
+func (c *Core) retireCommon(in *inst) {
+	if in.destLog >= 0 {
+		old := c.rf.arat[in.destLog]
+		c.rf.arat[in.destLog] = in.destPhys
+		c.rf.dropProducer(old)
+	}
+	for i, l := range in.auxLog {
+		old := c.rf.arat[l]
+		c.rf.arat[l] = in.auxPhys[i]
+		c.rf.dropProducer(old)
+	}
+
+	c.retired++
+	c.lastRetireAt = c.now
+	if c.tracer != nil {
+		c.tracer.onRetire(in, c.now)
+	}
+	if c.cfg.WarmupInstructions > 0 && c.retired == c.cfg.WarmupInstructions {
+		// End of warmup: structures stay warm, counters restart. The
+		// boundary instruction itself is not measured.
+		c.stats = Stats{}
+		c.cycleBase = c.now
+		c.warmL1A, c.warmL1M = c.hier.L1D.Accesses, c.hier.L1D.Misses
+		if in.isLoad() {
+			c.lsnRetire++
+		}
+	} else {
+		c.stats.Instructions++
+		n := int64(len(in.uops))
+		if n == 0 {
+			n = 1
+		}
+		c.stats.Uops += n
+
+		if in.isLoad() {
+			c.lsnRetire++
+			if in.gotValue != in.e.Value && c.valueErr == nil {
+				// Soundness invariant: the verification machinery must
+				// never let a wrong-valued load retire.
+				c.valueErr = fmt.Errorf("core: load at trace idx %d (pc 0x%x, %s) retired value 0x%x, want 0x%x (cat %s, model %s)",
+					in.idx, in.e.PC, in.e.Instr, in.gotValue, in.e.Value, in.cat, c.cfg.Model)
+			}
+			c.accountLoad(in)
+		}
+	}
+
+	if in.e.Instr.Op == isa.OpHALT || c.retired == int64(len(c.tr.Entries)) {
+		c.done = true
+	}
+}
+
+func (c *Core) accountLoad(in *inst) {
+	c.stats.LoadCount[in.cat]++
+	t := in.valueAt - in.renamedAt
+	if t < 0 {
+		t = 0
+	}
+	c.stats.LoadExecTime[in.cat] += t
+	c.stats.LoadLatency[latencyBucket(t)]++
+	if in.lowConf {
+		c.stats.LowConfCount++
+		c.stats.LowConfExecTime += t
+		switch {
+		case !in.actualInFly:
+			c.stats.LowConfOutcomes[LowConfIndepStore]++
+		case in.e.DepStore == in.ssnByp:
+			c.stats.LowConfOutcomes[LowConfCorrect]++
+		default:
+			c.stats.LowConfOutcomes[LowConfDiffStore]++
+		}
+	}
+}
+
+// ---------- recovery ----------
+
+// flush squashes every in-flight instruction, restores the rename state
+// from the architectural map (the paper recovers the reference counters by
+// walking the squashed instructions; restoring from the ARAT plus the
+// surviving store buffer references is equivalent at a full-window flush)
+// and refetches from refetchIdx.
+func (c *Core) flush(refetchIdx int) {
+	for i := 0; i < c.rob.len(); i++ {
+		in := c.rob.at(i)
+		in.squashed = true
+		if c.tracer != nil {
+			c.tracer.onSquash(in.idx)
+		}
+		for _, u := range in.uops {
+			u.squashed = true
+			if !u.done {
+				c.stats.SquashedUops++
+			}
+		}
+	}
+	c.rob.clear()
+	c.iqCount = 0
+	c.ready = c.ready[:0]
+	c.delayed = c.delayed[:0]
+
+	c.ssn.Rename = c.ssn.Retire
+	c.lsnRename = c.lsnRetire
+	c.srb.dropYoungerThan(c.ssn.Retire)
+	for seq := range c.instBySeq {
+		delete(c.instBySeq, seq)
+	}
+	c.sets.Invalidate(0) // all tracked stores were in flight: clear LFST
+
+	c.rf.resetToARAT(c.sb.regRefs(nil))
+
+	c.fq = c.fq[:0]
+	c.fetchIdx = refetchIdx
+	c.fetchStalled = false
+	c.blockInst = nil
+	c.fetchResumeAt = c.now + c.cfg.RecoveryPenalty
+}

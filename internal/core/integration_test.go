@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"dmdp/internal/config"
+	"dmdp/internal/workload"
+)
+
+// TestAllProxiesAllModels is the end-to-end soundness sweep: every proxy
+// benchmark runs under every model; Run's internal checks guarantee that
+// each retired load carried the architecturally correct value and that no
+// pipeline deadlock occurred.
+func TestAllProxiesAllModels(t *testing.T) {
+	budget := int64(8000)
+	if testing.Short() {
+		budget = 3000
+	}
+	for _, s := range workload.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := s.BuildTrace(budget)
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			for _, m := range allModels {
+				c, err := New(config.Default(m), tr)
+				if err != nil {
+					t.Fatalf("%s: %v", m, err)
+				}
+				st, err := c.Run()
+				if err != nil {
+					t.Fatalf("%s: %v", m, err)
+				}
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("%s: %v", m, err)
+				}
+				if st.Instructions != int64(len(tr.Entries)) {
+					t.Fatalf("%s: retired %d/%d", m, st.Instructions, len(tr.Entries))
+				}
+				if st.IPC() <= 0.05 {
+					t.Errorf("%s: IPC %.3f implausible", m, st.IPC())
+				}
+			}
+		})
+	}
+}
+
+// TestPerfectNeverLoses checks the oracle bound: Perfect is at least as
+// fast as NoSQ and DMDP on every proxy (within a small scheduling
+// tolerance).
+func TestPerfectNeverLoses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"hmmer", "bzip2", "wrf", "gromacs", "milc"} {
+		s, _ := workload.Get(name)
+		tr, err := s.BuildTrace(8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc := map[config.Model]float64{}
+		for _, m := range allModels {
+			c, _ := New(config.Default(m), tr)
+			st, err := c.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, m, err)
+			}
+			ipc[m] = st.IPC()
+		}
+		if ipc[config.Perfect] < ipc[config.NoSQ]*0.97 || ipc[config.Perfect] < ipc[config.DMDP]*0.97 {
+			t.Errorf("%s: perfect %.3f below nosq %.3f / dmdp %.3f",
+				name, ipc[config.Perfect], ipc[config.NoSQ], ipc[config.DMDP])
+		}
+	}
+}
+
+// TestRMOProxies is a regression test for the RMO SSNcommit rule: when
+// the store buffer drains after out-of-order completions, SSNcommit must
+// advance to SSNretire, or parked delayed loads deadlock.
+func TestRMOProxies(t *testing.T) {
+	for _, name := range []string{"perl", "gcc", "lbm"} {
+		s, _ := workload.Get(name)
+		tr, err := s.BuildTrace(8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []config.Model{config.NoSQ, config.DMDP} {
+			cfg := config.Default(m).WithConsistency(config.RMO)
+			c, err := New(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Run(); err != nil {
+				t.Fatalf("%s/%s rmo: %v", name, m, err)
+			}
+		}
+	}
+}

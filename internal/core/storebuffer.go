@@ -1,0 +1,127 @@
+package core
+
+import "dmdp/internal/trace"
+
+// sbEntry is one retired-but-uncommitted store held in the store buffer.
+// The store queue is gone in the SQ-free models, but the store buffer is
+// still required to overlap store-miss latency and implement the
+// consistency model (paper §I, §IV-F). The physical register identities
+// are kept so their lifetimes extend to commit (consumer counters).
+type sbEntry struct {
+	ssn      int64
+	idx      int // trace index
+	addr     uint32
+	size     uint32
+	value    uint32
+	dataPhys int
+	addrPhys int
+
+	issued bool
+	doneAt int64
+	// coalesced entries commit with the head access (TSO store
+	// coalescing of consecutive same-word stores).
+	coalescedWith int // index into the buffer of the carrying entry, -1 = self
+}
+
+// storeBuffer models the post-retirement store queue with TSO (in-order,
+// head-only commit with consecutive coalescing) or RMO (out-of-order
+// commit, per-word ordering preserved) policies.
+type storeBuffer struct {
+	entries []sbEntry
+	cap     int
+	rmo     bool
+}
+
+func newStoreBuffer(capacity int, rmo bool) *storeBuffer {
+	return &storeBuffer{cap: capacity, rmo: rmo}
+}
+
+func (sb *storeBuffer) full() bool  { return len(sb.entries) >= sb.cap }
+func (sb *storeBuffer) empty() bool { return len(sb.entries) == 0 }
+func (sb *storeBuffer) len() int    { return len(sb.entries) }
+
+func (sb *storeBuffer) push(e sbEntry) {
+	e.coalescedWith = -1
+	sb.entries = append(sb.entries, e)
+}
+
+// regRefs appends the physical registers still referenced by pending
+// stores (used to rebuild consumer counts after a recovery).
+func (sb *storeBuffer) regRefs(dst []int) []int {
+	for i := range sb.entries {
+		dst = append(dst, sb.entries[i].dataPhys, sb.entries[i].addrPhys)
+	}
+	return dst
+}
+
+// oldestUncommittedSSN returns the SSN preceding the oldest pending store
+// (the RMO SSNcommit rule) or retired if the buffer is empty (an empty
+// buffer means every retired store has committed).
+func (sb *storeBuffer) oldestUncommittedSSN(retired int64) int64 {
+	if len(sb.entries) == 0 {
+		return retired
+	}
+	min := sb.entries[0].ssn
+	for _, e := range sb.entries[1:] {
+		if e.ssn < min {
+			min = e.ssn
+		}
+	}
+	return min - 1
+}
+
+// hasOlderSameWord reports whether an older pending entry writes the same
+// word (RMO must preserve per-address order).
+func (sb *storeBuffer) hasOlderSameWord(i int) bool {
+	w := sb.entries[i].addr &^ 3
+	for j := range sb.entries {
+		if sb.entries[j].ssn < sb.entries[i].ssn && sb.entries[j].addr&^3 == w {
+			return true
+		}
+	}
+	return false
+}
+
+// srbEntry is one Store Register Buffer record: the data and address
+// physical register identities of an in-flight store, live from rename to
+// commit, consulted by memory cloaking and predication insertion (paper
+// Fig. 6).
+type srbEntry struct {
+	ssn      int64
+	idx      int // trace index
+	dataPhys int
+	addrPhys int
+	inst     *inst // nil once the store has retired into the SB
+}
+
+// storeRegBuffer maps SSN -> register identities for all in-flight stores.
+type storeRegBuffer struct {
+	entries map[int64]*srbEntry
+}
+
+func newStoreRegBuffer() *storeRegBuffer {
+	return &storeRegBuffer{entries: make(map[int64]*srbEntry)}
+}
+
+func (s *storeRegBuffer) add(e *srbEntry)         { s.entries[e.ssn] = e }
+func (s *storeRegBuffer) get(ssn int64) *srbEntry { return s.entries[ssn] }
+func (s *storeRegBuffer) remove(ssn int64)        { delete(s.entries, ssn) }
+func (s *storeRegBuffer) markRetired(ssn int64) {
+	if e := s.entries[ssn]; e != nil {
+		e.inst = nil
+	}
+}
+
+// dropYoungerThan removes squashed stores (SSN > keep) during recovery.
+func (s *storeRegBuffer) dropYoungerThan(keep int64) {
+	for ssn := range s.entries {
+		if ssn > keep {
+			delete(s.entries, ssn)
+		}
+	}
+}
+
+// forwardValue computes the value a load obtains when store entry st
+// forwards to it (wraps trace.ForwardValue for call sites holding trace
+// entries).
+func forwardValue(st, ld *trace.Entry) uint32 { return trace.ForwardValue(st, ld) }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"container/heap"
+
+	"dmdp/internal/isa"
+	"dmdp/internal/trace"
+)
+
+// uopKind enumerates the MicroOp types the decoder/renamer emits.
+type uopKind uint8
+
+const (
+	uopALU        uopKind = iota // integer/fp computation, jumps with link
+	uopBranch                    // conditional branch / indirect jump (resolves fetch)
+	uopAGI                       // address generation + TLB translation
+	uopLoad                      // cache read (LD)
+	uopCMP                       // predication: address comparison -> predicate
+	uopCMOV                      // predication: conditional move (two per load)
+	uopCloakTrack                // zero-cost tracker: cloaked load's data register readiness
+)
+
+// gate describes an extra issue condition beyond operand readiness.
+type gateKind uint8
+
+const (
+	gateNone      gateKind = iota
+	gateSSNCommit          // wait until SSN.Commit >= gateSSN (NoSQ delayed load, baseline partial-overlap)
+	gateStoreExec          // wait until the store instruction gateInst's address resolves (store sets)
+	// Baseline loads waiting for a forwarder's *data* register replay
+	// through the ordinary operand-wakeup path (issueLoadBaseline).
+)
+
+// uop is one scheduled micro-operation.
+type uop struct {
+	kind  uopKind
+	class isa.Class // execution class (latency / functional unit)
+	inst  *inst
+	seq   int64 // global dispatch order (issue priority)
+
+	srcs    [3]int // physical register sources (-1 = unused)
+	dst     int    // physical register destination (-1 = none)
+	waitCnt int    // unready sources remaining
+
+	gate     gateKind
+	gateSSN  int64
+	gateInst *inst
+	parked   bool // moved into the delayed-load structure
+	counted  bool // currently occupies an IQ slot
+
+	// cmovSel: for uopCMOV, true when this is the predicate-true arm
+	// (selects the store data).
+	cmovSel bool
+
+	issued   bool
+	done     bool
+	doneAt   int64
+	squashed bool
+}
+
+// inst is one in-flight dynamic instruction (a trace entry instance).
+type inst struct {
+	idx int          // trace index
+	e   *trace.Entry // the entry (correct-path ground truth)
+	seq int64        // unique dynamic number (monotone across squashes)
+
+	uops    []*uop
+	pending int // uops not yet done
+
+	// Rename state.
+	destLog  int // logical destination (-1 = none); loads with predication also map HwTmp/HwPred
+	destPhys int
+	// auxiliary logical mappings created by cracking (HwAddr, HwTmp,
+	// HwPred): recorded so retire updates the ARAT for them too.
+	auxLog  []int
+	auxPhys []int
+
+	renamedAt int64
+
+	// Store state.
+	ssn       int64
+	dataPhys  int // store data register (consumer-counted until commit)
+	addrPhys  int // AGI destination (address register)
+	addrReady bool
+
+	// Load state.
+	cat         LoadCategory
+	lowConf     bool
+	predHit     bool  // SDP produced a prediction
+	usedDist    int64 // predicted store distance
+	ssnByp      int64 // predicted colliding store SSN (0 = none used)
+	predIdx     int   // trace index of the predicted store (-1 = none)
+	histAtRen   uint32
+	actualInFly bool // ground truth: DepStore was in flight at rename
+
+	predicate     bool // CMP outcome: predicted store forwards
+	predicateDone bool
+
+	gotValue  uint32 // value the load obtained speculatively
+	valueAt   int64  // cycle the value became available
+	readCache bool   // value came from the cache (vs an in-flight store)
+	ssnNvul   int64  // SSN.Commit captured when the cache was read
+
+	// Fire-and-Forget state.
+	lsn       int64 // load sequence number
+	fnfTarget int64 // store: target LSN of the registered forward (0 = none)
+
+	violated   bool  // baseline: ordering violation -> recover at head
+	srcSSN     int64 // baseline: SSN of the store that supplied the value (-1 = cache read pending)
+	forwardIdx int   // baseline: trace index of the forwarding store (-1 = none)
+
+	// Predication register references (consumer-counted).
+	predAddrPhys int
+	predDataPhys int
+
+	cacheValue     uint32 // raw cache-read result (predication keeps it separate)
+	cacheValueSeen bool
+
+	// Retire-time verification state machine.
+	verifyChecked bool
+	needReexec    bool
+	tssbfSSN      int64
+	tssbfMatch    bool
+	tssbfCovered  bool
+	reexecAt      int64 // completion cycle of the re-execution (0 = not issued)
+	recoverAfter  bool  // exception: flush younger instructions after this retires
+
+	// execWaiters are uops gated on this (store) instruction's address
+	// resolution (store sets).
+	execWaiters []*uop
+
+	completedAt int64
+	squashed    bool
+}
+
+func (in *inst) isLoad() bool  { return in.e.IsLoad() }
+func (in *inst) isStore() bool { return in.e.IsStore() }
+
+// complete reports whether the instruction can retire (all uops done).
+func (in *inst) complete() bool { return in.pending == 0 }
+
+// ---------- ready queue (issue priority by age) ----------
+
+type readyHeap []*uop
+
+func (h readyHeap) Len() int           { return len(h) }
+func (h readyHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)        { *h = append(*h, x.(*uop)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	u := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return u
+}
+
+func (h *readyHeap) push(u *uop) { heap.Push(h, u) }
+func (h *readyHeap) pop() *uop   { return heap.Pop(h).(*uop) }
+
+// ---------- completion events ----------
+
+type event struct {
+	at int64
+	u  *uop
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].u.seq < h[j].u.seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (h *eventHeap) schedule(at int64, u *uop) { heap.Push(h, event{at: at, u: u}) }
+
+// popDue removes and returns the next event due at or before now, or nil.
+func (h *eventHeap) popDue(now int64) *uop {
+	for h.Len() > 0 {
+		if (*h)[0].at > now {
+			return nil
+		}
+		e := heap.Pop(h).(event)
+		if e.u.squashed {
+			continue
+		}
+		return e.u
+	}
+	return nil
+}
+
+// nextAt returns the cycle of the earliest pending event, or -1.
+func (h eventHeap) nextAt() int64 {
+	if len(h) == 0 {
+		return -1
+	}
+	return h[0].at
+}

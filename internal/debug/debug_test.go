@@ -1,0 +1,177 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"dmdp/internal/asm"
+)
+
+const dbgProg = `
+	.data
+val:	.word 0x1234
+	.text
+main:
+	li $t0, 3
+loop:
+	addi $t0, $t0, -1
+	bnez $t0, loop
+target:
+	la $t1, val
+	lw $t2, 0($t1)
+	halt
+`
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	p, err := asm.Assemble(dbgProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(p)
+}
+
+func exec(t *testing.T, s *Session, cmd string) string {
+	t.Helper()
+	var b strings.Builder
+	if s.Exec(cmd, &b) {
+		t.Fatalf("command %q quit the session", cmd)
+	}
+	return b.String()
+}
+
+func TestStepAdvances(t *testing.T) {
+	s := newSession(t)
+	exec(t, s, "step")
+	if s.Steps() != 1 {
+		t.Fatalf("steps %d", s.Steps())
+	}
+	exec(t, s, "s 3")
+	if s.Steps() != 4 {
+		t.Fatalf("steps %d", s.Steps())
+	}
+}
+
+func TestBreakpointStopsContinue(t *testing.T) {
+	s := newSession(t)
+	out := exec(t, s, "break target")
+	if !strings.Contains(out, "breakpoint set") {
+		t.Fatalf("break output %q", out)
+	}
+	out = exec(t, s, "continue")
+	if !strings.Contains(out, "breakpoint at") {
+		t.Fatalf("continue output %q", out)
+	}
+	if s.PC() != mustSym(t, s, "target") {
+		t.Fatalf("stopped at 0x%x", s.PC())
+	}
+}
+
+func mustSym(t *testing.T, s *Session, name string) uint32 {
+	t.Helper()
+	a, ok := s.prog.Symbols[name]
+	if !ok {
+		t.Fatalf("symbol %s missing", name)
+	}
+	return a
+}
+
+func TestContinueToHalt(t *testing.T) {
+	s := newSession(t)
+	out := exec(t, s, "continue")
+	if !strings.Contains(out, "halted") {
+		t.Fatalf("expected halt, got %q", out)
+	}
+	if !s.Halted() {
+		t.Fatal("session not halted")
+	}
+	// Stepping after halt is a no-op with a message.
+	out = exec(t, s, "step")
+	if !strings.Contains(out, "halted") {
+		t.Fatalf("step after halt: %q", out)
+	}
+}
+
+func TestRegsAndMem(t *testing.T) {
+	s := newSession(t)
+	exec(t, s, "continue")
+	regs := exec(t, s, "regs")
+	if !strings.Contains(regs, "$t2") || !strings.Contains(regs, "0x00001234") {
+		t.Fatalf("regs output missing load result:\n%s", regs)
+	}
+	mem := exec(t, s, "mem val 1")
+	if !strings.Contains(mem, "0x00001234") {
+		t.Fatalf("mem output %q", mem)
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	s := newSession(t)
+	out := exec(t, s, "disasm main 2")
+	if !strings.Contains(out, "addiu") {
+		t.Fatalf("disasm output %q", out)
+	}
+	if !strings.Contains(out, "=>") {
+		t.Fatalf("current-pc marker missing: %q", out)
+	}
+}
+
+func TestDeleteBreakpointAndInfo(t *testing.T) {
+	s := newSession(t)
+	exec(t, s, "break target")
+	info := exec(t, s, "info")
+	if !strings.Contains(info, "breakpoint 0x") {
+		t.Fatalf("info missing breakpoint: %q", info)
+	}
+	exec(t, s, "delete target")
+	out := exec(t, s, "continue")
+	if strings.Contains(out, "breakpoint at") {
+		t.Fatalf("deleted breakpoint still fired: %q", out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := newSession(t)
+	exec(t, s, "continue")
+	exec(t, s, "reset")
+	if s.Halted() || s.Steps() != 0 {
+		t.Fatal("reset did not restart")
+	}
+}
+
+func TestBadCommands(t *testing.T) {
+	s := newSession(t)
+	if out := exec(t, s, "bogus"); !strings.Contains(out, "unknown command") {
+		t.Fatalf("bogus: %q", out)
+	}
+	if out := exec(t, s, "break nosuchsymbol"); !strings.Contains(out, "cannot resolve") {
+		t.Fatalf("bad symbol: %q", out)
+	}
+	if out := exec(t, s, "mem"); !strings.Contains(out, "usage") {
+		t.Fatalf("mem usage: %q", out)
+	}
+}
+
+func TestQuit(t *testing.T) {
+	s := newSession(t)
+	var b strings.Builder
+	if !s.Exec("quit", &b) {
+		t.Fatal("quit should end the session")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	s := newSession(t)
+	in := strings.NewReader("step\nregs\nquit\n")
+	var out strings.Builder
+	s.Run(in, &out)
+	if !strings.Contains(out.String(), "(dbg)") || !strings.Contains(out.String(), "$t0") {
+		t.Fatalf("repl output:\n%s", out.String())
+	}
+}
+
+func TestREPLEOF(t *testing.T) {
+	s := newSession(t)
+	var out strings.Builder
+	s.Run(strings.NewReader(""), &out) // EOF immediately: must return
+}

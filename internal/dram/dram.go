@@ -1,0 +1,116 @@
+// Package dram models a DDR-style main memory with banks and an open-page
+// row-buffer policy, in the spirit of DRAMSim2 (which the paper embedded)
+// but simplified to the features the evaluation is sensitive to: variable
+// access latency from row-buffer locality and bank-level parallelism. All
+// timing is expressed in CPU cycles.
+package dram
+
+// Config sets the geometry and timing of the memory system.
+type Config struct {
+	Banks     int    // number of banks (power of two)
+	RowBytes  uint32 // bytes covered by one row buffer
+	TRCD      int64  // activate -> column command
+	TCAS      int64  // column command -> first data
+	TRP       int64  // precharge
+	TBurst    int64  // data transfer occupancy per access
+	QueueWait int64  // fixed controller/queueing overhead per access
+}
+
+// DefaultConfig is a DDR3-1600-like part behind a 3.2 GHz core
+// (≈2 core cycles per DRAM cycle).
+func DefaultConfig() Config {
+	return Config{
+		Banks:     8,
+		RowBytes:  8192,
+		TRCD:      22,
+		TCAS:      22,
+		TRP:       22,
+		TBurst:    8,
+		QueueWait: 20,
+	}
+}
+
+type bank struct {
+	openRow  int64 // -1 when precharged
+	readyAt  int64 // bank busy until this cycle
+	accesses int64
+	rowHits  int64
+}
+
+// DRAM is a deterministic bank/row timing model.
+type DRAM struct {
+	cfg   Config
+	banks []bank
+
+	// Stats.
+	Reads, Writes    int64
+	RowHits, RowMiss int64
+}
+
+// New builds a DRAM with the given configuration.
+func New(cfg Config) *DRAM {
+	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d
+}
+
+// bankAndRow maps a physical address onto a bank and a row. Banks are
+// interleaved at row granularity.
+func (d *DRAM) bankAndRow(addr uint32) (int, int64) {
+	rowGlobal := int64(addr / d.cfg.RowBytes)
+	b := int(rowGlobal) & (d.cfg.Banks - 1)
+	return b, rowGlobal >> uint(bits(d.cfg.Banks))
+}
+
+func bits(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// Access issues a read or write at cycle now and returns the cycle at
+// which the data transfer completes.
+func (d *DRAM) Access(now int64, addr uint32, write bool) int64 {
+	if write {
+		d.Writes++
+	} else {
+		d.Reads++
+	}
+	bi, row := d.bankAndRow(addr)
+	bk := &d.banks[bi]
+	start := now + d.cfg.QueueWait
+	if bk.readyAt > start {
+		start = bk.readyAt
+	}
+	var lat int64
+	switch {
+	case bk.openRow == row:
+		lat = d.cfg.TCAS
+		d.RowHits++
+		bk.rowHits++
+	case bk.openRow < 0:
+		lat = d.cfg.TRCD + d.cfg.TCAS
+		d.RowMiss++
+	default:
+		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		d.RowMiss++
+	}
+	done := start + lat + d.cfg.TBurst
+	bk.openRow = row
+	bk.readyAt = done
+	bk.accesses++
+	return done
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (d *DRAM) RowHitRate() float64 {
+	total := d.RowHits + d.RowMiss
+	if total == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(total)
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dmdp/internal/config"
+	"dmdp/internal/stats"
+)
+
+// The ablation experiments isolate design choices the paper discusses:
+// the silent-store-aware predictor update policy (§VI-a calls it a
+// double-edged sword and compares both settings on hmmer), the biased
+// confidence update (§IV-E), store coalescing (§V), the TAGE-like store
+// distance predictor (related work, §VII) and remote-core invalidation
+// traffic (§IV-F).
+
+// AblSilentPolicy compares NoSQ with and without the silent-store-aware
+// update. The paper: disabling it helps hmmer (fewer mispredictions) but
+// hurts the other benchmarks (more re-executions).
+func AblSilentPolicy(r *Runner) (string, error) {
+	t := stats.NewTable("Ablation: silent-store-aware predictor update (NoSQ)",
+		"bench", "aware IPC", "original IPC", "aware MPKI", "orig MPKI", "aware reexec/1k", "orig reexec/1k")
+	var ratios []float64
+	for _, b := range r.Benchmarks() {
+		on, err := r.Run(b, config.Default(config.NoSQ), "nosq")
+		if err != nil {
+			return "", err
+		}
+		off, err := r.Run(b, config.Default(config.NoSQ).WithSilentStorePolicy(false), "nosq-nosilent")
+		if err != nil {
+			return "", err
+		}
+		ratios = append(ratios, on.IPC()/off.IPC())
+		t.AddF(2, b, on.IPC(), off.IPC(), on.MPKI(), off.MPKI(),
+			on.ReexecStallsPerKilo(), off.ReexecStallsPerKilo())
+	}
+	out := t.String()
+	out += fmt.Sprintf("geomean aware/original: %s (paper: aware wins overall, loses on hmmer)\n",
+		stats.Pct(stats.Geomean(ratios)))
+	return out, nil
+}
+
+// AblBiasedConfidence compares DMDP with the biased (divide-by-two)
+// confidence update against a balanced (-1) variant: the bias trades
+// extra predications for fewer full-penalty mispredictions (§IV-E).
+func AblBiasedConfidence(r *Runner) (string, error) {
+	t := stats.NewTable("Ablation: biased vs balanced confidence update (DMDP)",
+		"bench", "biased IPC", "balanced IPC", "biased MPKI", "bal MPKI", "biased pred#", "bal pred#")
+	var ratios []float64
+	balancedCfg := config.Default(config.DMDP)
+	balancedCfg.SDP.Biased = false
+	for _, b := range r.Benchmarks() {
+		bi, err := r.Run(b, config.Default(config.DMDP), "dmdp")
+		if err != nil {
+			return "", err
+		}
+		ba, err := r.Run(b, balancedCfg, "dmdp-balanced")
+		if err != nil {
+			return "", err
+		}
+		ratios = append(ratios, bi.IPC()/ba.IPC())
+		t.AddF(2, b, bi.IPC(), ba.IPC(), bi.MPKI(), ba.MPKI(), bi.Predications, ba.Predications)
+	}
+	out := t.String()
+	out += fmt.Sprintf("geomean biased/balanced: %s (paper: fewer mispredictions at the cost of more predications)\n",
+		stats.Pct(stats.Geomean(ratios)))
+	return out, nil
+}
+
+// AblTAGE swaps the two-table Store Distance Predictor for the TAGE-like
+// predictor on both SQ-free models (the related-work extension, §VII).
+func AblTAGE(r *Runner) (string, error) {
+	t := stats.NewTable("Ablation: TAGE-like store distance predictor",
+		"bench", "dmdp", "dmdp+tage", "nosq", "nosq+tage")
+	var dr, nr []float64
+	for _, b := range r.Benchmarks() {
+		d, err := r.Run(b, config.Default(config.DMDP), "dmdp")
+		if err != nil {
+			return "", err
+		}
+		dt, err := r.Run(b, config.Default(config.DMDP).WithTAGE(true), "dmdp-tage")
+		if err != nil {
+			return "", err
+		}
+		n, err := r.Run(b, config.Default(config.NoSQ), "nosq")
+		if err != nil {
+			return "", err
+		}
+		nt, err := r.Run(b, config.Default(config.NoSQ).WithTAGE(true), "nosq-tage")
+		if err != nil {
+			return "", err
+		}
+		dr = append(dr, dt.IPC()/d.IPC())
+		nr = append(nr, nt.IPC()/n.IPC())
+		t.AddF(3, b, d.IPC(), dt.IPC(), n.IPC(), nt.IPC())
+	}
+	out := t.String()
+	out += fmt.Sprintf("geomean tage/classic: dmdp %s, nosq %s\n",
+		stats.Pct(stats.Geomean(dr)), stats.Pct(stats.Geomean(nr)))
+	return out, nil
+}
+
+// AblCoalescing disables TSO store coalescing: consecutive same-word
+// stores then occupy the commit port individually (§V mentions
+// coalescing alleviates write-port pressure).
+func AblCoalescing(r *Runner) (string, error) {
+	t := stats.NewTable("Ablation: store coalescing (DMDP)",
+		"bench", "on IPC", "off IPC", "coalesced#", "sbstall-on/1k", "sbstall-off/1k")
+	var ratios []float64
+	for _, b := range r.Benchmarks() {
+		on, err := r.Run(b, config.Default(config.DMDP), "dmdp")
+		if err != nil {
+			return "", err
+		}
+		off, err := r.Run(b, config.Default(config.DMDP).WithCoalescing(false), "dmdp-nocoalesce")
+		if err != nil {
+			return "", err
+		}
+		ratios = append(ratios, on.IPC()/off.IPC())
+		t.AddF(2, b, on.IPC(), off.IPC(), on.StoresCoalesced,
+			on.SBStallsPerKilo(), off.SBStallsPerKilo())
+	}
+	out := t.String()
+	out += fmt.Sprintf("geomean on/off: %s\n", stats.Pct(stats.Geomean(ratios)))
+	return out, nil
+}
+
+// AblInvalidations injects remote-core cache line invalidations (§IV-F):
+// invalidated words enter the T-SSBF with SSNcommit+1, forcing vulnerable
+// in-flight loads to re-execute. DMDP and NoSQ both absorb the traffic
+// without correctness loss; the cost is extra re-executions.
+func AblInvalidations(r *Runner) (string, error) {
+	const interval = 2000 // cycles between injected invalidations
+	t := stats.NewTable(fmt.Sprintf("Ablation: remote invalidations every %d cycles (DMDP)", interval),
+		"bench", "quiet IPC", "noisy IPC", "invals", "reexec-quiet", "reexec-noisy")
+	var ratios []float64
+	for _, b := range r.Benchmarks() {
+		q, err := r.Run(b, config.Default(config.DMDP), "dmdp")
+		if err != nil {
+			return "", err
+		}
+		n, err := r.Run(b, config.Default(config.DMDP).WithInvalidations(interval), "dmdp-inval")
+		if err != nil {
+			return "", err
+		}
+		ratios = append(ratios, n.IPC()/q.IPC())
+		t.AddF(2, b, q.IPC(), n.IPC(), n.Invalidations, q.Reexecs, n.Reexecs)
+	}
+	var out strings.Builder
+	out.WriteString(t.String())
+	fmt.Fprintf(&out, "geomean noisy/quiet: %s (consistency traffic costs re-executions, never correctness)\n",
+		stats.Pct(stats.Geomean(ratios)))
+	return out.String(), nil
+}
+
+// AblPrefetch measures the interaction between a next-line L1 prefetcher
+// and the store-load communication models: prefetching compresses the
+// direct-load latency, which shrinks the absolute gap the SQ-free
+// mechanisms can win back on streaming code.
+func AblPrefetch(r *Runner) (string, error) {
+	t := stats.NewTable("Ablation: next-line L1 prefetcher (DMDP)",
+		"bench", "off IPC", "on IPC", "gain", "L1 miss off", "L1 miss on")
+	var ratios []float64
+	for _, b := range r.Benchmarks() {
+		off, err := r.Run(b, config.Default(config.DMDP), "dmdp")
+		if err != nil {
+			return "", err
+		}
+		on, err := r.Run(b, config.Default(config.DMDP).WithPrefetch(true), "dmdp-prefetch")
+		if err != nil {
+			return "", err
+		}
+		ratios = append(ratios, on.IPC()/off.IPC())
+		t.AddF(3, b, off.IPC(), on.IPC(), stats.Pct(on.IPC()/off.IPC()),
+			stats.F(100*off.L1MissRate, 1), stats.F(100*on.L1MissRate, 1))
+	}
+	out := t.String()
+	out += fmt.Sprintf("geomean on/off: %s\n", stats.Pct(stats.Geomean(ratios)))
+	return out, nil
+}

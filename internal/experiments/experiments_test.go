@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dmdp/internal/config"
+)
+
+// smallRunner uses a tiny budget and a benchmark subset so every
+// experiment can execute quickly in tests.
+func smallRunner() *Runner {
+	return NewRunner(Options{
+		Budget:     4000,
+		Benchmarks: []string{"perl", "hmmer", "milc", "wrf"},
+		Parallel:   false,
+	})
+}
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	r := smallRunner()
+	for _, e := range All() {
+		out, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if !strings.Contains(out, "perl") && !strings.Contains(out, "dmdp") {
+			t.Errorf("%s: output lacks benchmark rows:\n%s", e.ID, out)
+		}
+		// Every benchmark in the subset appears.
+		for _, b := range r.Benchmarks() {
+			if e.ID == "alt-prf160" {
+				continue // summary-only output
+			}
+			if !strings.Contains(out, b) {
+				t.Errorf("%s: missing row for %s", e.ID, b)
+			}
+		}
+	}
+}
+
+func TestRunnerCachesResults(t *testing.T) {
+	r := smallRunner()
+	a, err := r.RunModel("perl", config.DMDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunModel("perl", config.DMDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("expected pointer-identical cached result")
+	}
+}
+
+func TestRunnerUnknownBenchmark(t *testing.T) {
+	r := smallRunner()
+	if _, err := r.Trace("nope"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs length %d vs All %d", len(ids), len(All()))
+	}
+	for _, id := range ids {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) failed", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("ByID accepted bogus id")
+	}
+}
+
+func TestBenchmarkClassSplit(t *testing.T) {
+	r := smallRunner()
+	ints := r.intBenchmarks()
+	fps := r.fpBenchmarks()
+	if len(ints)+len(fps) != len(r.Benchmarks()) {
+		t.Fatal("class split loses benchmarks")
+	}
+	for _, b := range ints {
+		if isFP(r, b) {
+			t.Errorf("%s misclassified as FP", b)
+		}
+	}
+	for _, b := range fps {
+		if !isFP(r, b) {
+			t.Errorf("%s misclassified as Int", b)
+		}
+	}
+}
+
+func TestPrefetchParallelMatchesSerial(t *testing.T) {
+	par := NewRunner(Options{Budget: 3000, Benchmarks: []string{"perl", "milc"}, Parallel: true})
+	if err := par.Prefetch(); err != nil {
+		t.Fatal(err)
+	}
+	ser := NewRunner(Options{Budget: 3000, Benchmarks: []string{"perl", "milc"}, Parallel: false})
+	for _, b := range []string{"perl", "milc"} {
+		for _, m := range []config.Model{config.Baseline, config.NoSQ, config.DMDP, config.Perfect} {
+			a, err := par.RunModel(b, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := ser.RunModel(b, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *a != *s {
+				t.Errorf("%s/%s: parallel and serial runs differ", b, m)
+			}
+		}
+	}
+}
+
+func TestDefaultOptionsFillIn(t *testing.T) {
+	r := NewRunner(Options{})
+	if r.opt.Budget != DefaultOptions().Budget {
+		t.Fatal("budget not defaulted")
+	}
+	if len(r.Benchmarks()) != 21 {
+		t.Fatal("benchmarks not defaulted")
+	}
+}

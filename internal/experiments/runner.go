@@ -1,0 +1,232 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI). Each experiment function renders the same rows/series
+// the paper reports; cmd/experiments drives them all and EXPERIMENTS.md
+// records paper-vs-measured values. Traces and simulation results are
+// cached so experiments sharing runs (most of them share the four default
+// model runs) do not repeat work.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dmdp/internal/config"
+	"dmdp/internal/core"
+	"dmdp/internal/power"
+	"dmdp/internal/trace"
+	"dmdp/internal/workload"
+)
+
+// Options configures a reproduction run.
+type Options struct {
+	// Budget is the instruction count simulated per proxy (the paper
+	// uses 100M-instruction SimPoint intervals; our stationary proxies
+	// converge much faster).
+	Budget int64
+	// Benchmarks restricts the suite (default: all 21).
+	Benchmarks []string
+	// Parallel runs benchmarks concurrently (deterministic results;
+	// scheduling only affects wall clock).
+	Parallel bool
+}
+
+// DefaultOptions runs the full suite at 300k instructions per proxy.
+func DefaultOptions() Options { return Options{Budget: 300_000, Parallel: true} }
+
+// Runner caches traces and simulation results across experiments.
+type Runner struct {
+	opt Options
+
+	mu      sync.Mutex
+	traces  map[string]*trace.Trace
+	results map[string]*core.Stats
+}
+
+// NewRunner builds a runner.
+func NewRunner(opt Options) *Runner {
+	if opt.Budget <= 0 {
+		opt.Budget = DefaultOptions().Budget
+	}
+	if len(opt.Benchmarks) == 0 {
+		opt.Benchmarks = workload.Names()
+	}
+	return &Runner{
+		opt:     opt,
+		traces:  make(map[string]*trace.Trace),
+		results: make(map[string]*core.Stats),
+	}
+}
+
+// Benchmarks returns the active suite.
+func (r *Runner) Benchmarks() []string { return r.opt.Benchmarks }
+
+func (r *Runner) intBenchmarks() []string { return r.filterClass(workload.Int) }
+func (r *Runner) fpBenchmarks() []string  { return r.filterClass(workload.Float) }
+
+func (r *Runner) filterClass(c workload.Class) []string {
+	var out []string
+	for _, n := range r.opt.Benchmarks {
+		if s, ok := workload.Get(n); ok && s.Class == c {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Trace returns (building and caching) the proxy's analyzed trace.
+func (r *Runner) Trace(name string) (*trace.Trace, error) {
+	r.mu.Lock()
+	tr, ok := r.traces[name]
+	r.mu.Unlock()
+	if ok {
+		return tr, nil
+	}
+	s, ok := workload.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	tr, err := s.BuildTrace(r.opt.Budget)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.traces[name] = tr
+	r.mu.Unlock()
+	return tr, nil
+}
+
+// Run simulates the benchmark under cfg, caching by (benchmark, label).
+func (r *Runner) Run(name string, cfg config.Config, label string) (*core.Stats, error) {
+	key := name + "/" + label
+	r.mu.Lock()
+	st, ok := r.results[key]
+	r.mu.Unlock()
+	if ok {
+		return st, nil
+	}
+	tr, err := r.Trace(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	st, err = c.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s (%s): %w", name, label, err)
+	}
+	r.mu.Lock()
+	r.results[key] = st
+	r.mu.Unlock()
+	return st, nil
+}
+
+// RunModel simulates under the default configuration for a model.
+func (r *Runner) RunModel(name string, m config.Model) (*core.Stats, error) {
+	return r.Run(name, config.Default(m), m.String())
+}
+
+// Prefetch warms the trace and default-model caches, in parallel when
+// configured. Results remain fully deterministic.
+func (r *Runner) Prefetch() error {
+	if !r.opt.Parallel {
+		return nil
+	}
+	type job struct {
+		bench string
+		model config.Model
+	}
+	var jobs []job
+	for _, b := range r.opt.Benchmarks {
+		for _, m := range []config.Model{config.Baseline, config.NoSQ, config.DMDP, config.Perfect} {
+			jobs = append(jobs, job{b, m})
+		}
+	}
+	errs := make(chan error, len(jobs))
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, err := r.RunModel(j.bench, j.model)
+			errs <- err
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	var firstErr error
+	for err := range errs {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Energy evaluates the power model for a cached run.
+func (r *Runner) Energy(name string, m config.Model) (power.Result, error) {
+	st, err := r.RunModel(name, m)
+	if err != nil {
+		return power.Result{}, err
+	}
+	return power.Compute(st, power.DefaultParams()), nil
+}
+
+// Experiment identifies one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) (string, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2", "Figure 2: NoSQ load instruction distribution", Fig2},
+		{"fig3", "Figure 3: delayed vs bypassing load execution time (NoSQ)", Fig3},
+		{"fig5", "Figure 5: low-confidence load prediction outcomes (DMDP)", Fig5},
+		{"fig12", "Figure 12: speedup over the baseline", Fig12},
+		{"fig14", "Figure 14: store buffer size sweep (DMDP)", Fig14},
+		{"fig15", "Figure 15: EDP of DMDP normalized to NoSQ", Fig15},
+		{"tab4", "Table IV: average execution time of all loads", TableIV},
+		{"tab5", "Table V: average execution time of low-confidence loads", TableV},
+		{"tab6", "Table VI: memory dependence mispredictions (MPKI)", TableVI},
+		{"tab7", "Table VII: re-execution stall cycles per 1k instructions", TableVII},
+		{"alt-issue4", "§VI-g: 4-issue width", AltIssue4},
+		{"alt-rob512", "§VI-g: 512-entry ROB", AltROB512},
+		{"alt-rmo", "§VI-g: RMO consistency", AltRMO},
+		{"alt-prf160", "§VI-f: halved physical register file", AltPRF160},
+		{"abl-silent", "Ablation: silent-store-aware predictor update (§VI-a)", AblSilentPolicy},
+		{"abl-biased", "Ablation: biased vs balanced confidence (§IV-E)", AblBiasedConfidence},
+		{"abl-tage", "Ablation: TAGE-like store distance predictor (§VII)", AblTAGE},
+		{"abl-coalesce", "Ablation: store coalescing (§V)", AblCoalescing},
+		{"abl-inval", "Ablation: remote invalidation traffic (§IV-F)", AblInvalidations},
+		{"alt-fnf", "Alt: Fire-and-Forget comparison (§VII)", AltFnF},
+		{"abl-prefetch", "Ablation: next-line L1 prefetcher", AblPrefetch},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,317 @@
+package isa
+
+import "fmt"
+
+// Binary encoding follows the MIPS-I formats:
+//
+//	R-type: op(6)=0 | rs(5) | rt(5) | rd(5) | shamt(5) | funct(6)
+//	I-type: op(6) | rs(5) | rt(5) | imm(16)
+//	J-type: op(6) | target(26)
+//
+// MUL/MULH/DIV/REM live in SPECIAL2 (opcode 0x1c) like MIPS32 MUL; the
+// FP-proxy ops use the otherwise-unused opcode 0x1d; HALT is opcode 0x3f.
+// Branch displacements are relative to the *next* instruction (the ISA has
+// no delay slots). Hardware-only registers are not encodable: MicroOps are
+// a rename-stage construct and never appear in program text.
+const (
+	opcSpecial  = 0x00
+	opcRegimm   = 0x01
+	opcJ        = 0x02
+	opcJAL      = 0x03
+	opcBEQ      = 0x04
+	opcBNE      = 0x05
+	opcBLEZ     = 0x06
+	opcBGTZ     = 0x07
+	opcADDI     = 0x08
+	opcADDIU    = 0x09
+	opcSLTI     = 0x0a
+	opcSLTIU    = 0x0b
+	opcANDI     = 0x0c
+	opcORI      = 0x0d
+	opcXORI     = 0x0e
+	opcLUI      = 0x0f
+	opcSpecial2 = 0x1c
+	opcFP       = 0x1d
+	opcLB       = 0x20
+	opcLH       = 0x21
+	opcLW       = 0x23
+	opcLBU      = 0x24
+	opcLHU      = 0x25
+	opcSB       = 0x28
+	opcSH       = 0x29
+	opcSW       = 0x2b
+	opcHALT     = 0x3f
+
+	fnSLL  = 0x00
+	fnSRL  = 0x02
+	fnSRA  = 0x03
+	fnSLLV = 0x04
+	fnSRLV = 0x06
+	fnSRAV = 0x07
+	fnJR   = 0x08
+	fnJALR = 0x09
+	fnADD  = 0x20
+	fnADDU = 0x21
+	fnSUB  = 0x22
+	fnSUBU = 0x23
+	fnAND  = 0x24
+	fnOR   = 0x25
+	fnXOR  = 0x26
+	fnNOR  = 0x27
+	fnSLT  = 0x2a
+	fnSLTU = 0x2b
+
+	fn2MUL  = 0x02
+	fn2MULH = 0x03
+	fn2DIV  = 0x1a
+	fn2REM  = 0x1b
+
+	fnFADD = 0x00
+	fnFMUL = 0x02
+	fnFDIV = 0x03
+
+	rtBLTZ = 0x00
+	rtBGEZ = 0x01
+)
+
+func rtype(funct uint32, rs, rt, rd Reg, shamt uint32) uint32 {
+	return uint32(rs)&31<<21 | uint32(rt)&31<<16 | uint32(rd)&31<<11 |
+		shamt&31<<6 | funct&63
+}
+
+func itype(opc uint32, rs, rt Reg, imm int32) uint32 {
+	return opc<<26 | uint32(rs)&31<<21 | uint32(rt)&31<<16 | uint32(uint16(imm))
+}
+
+// Encode produces the 32-bit machine word for the instruction. It returns
+// an error when a field does not fit the format (e.g. a hardware-only
+// register, or an immediate outside 16 bits for ops that need one).
+func (i Instr) Encode() (uint32, error) {
+	checkReg := func(rs ...Reg) error {
+		for _, r := range rs {
+			if r != NoReg && !r.Architectural() {
+				return fmt.Errorf("isa: register %s is not encodable", r)
+			}
+		}
+		return nil
+	}
+	if err := checkReg(i.Rd, i.Rs, i.Rt); err != nil {
+		return 0, err
+	}
+	imm16 := func() (int32, error) {
+		if i.Imm < -0x8000 || i.Imm > 0x7fff {
+			return 0, fmt.Errorf("isa: immediate %d out of 16-bit range in %s", i.Imm, i)
+		}
+		return i.Imm, nil
+	}
+	uimm16 := func() (int32, error) {
+		if i.Imm < 0 || i.Imm > 0xffff {
+			return 0, fmt.Errorf("isa: immediate %d out of unsigned 16-bit range in %s", i.Imm, i)
+		}
+		return i.Imm, nil
+	}
+
+	switch i.Op {
+	case OpNOP:
+		return 0, nil
+	case OpHALT:
+		return opcHALT << 26, nil
+	case OpSLL, OpSRL, OpSRA:
+		if i.Imm < 0 || i.Imm > 31 {
+			return 0, fmt.Errorf("isa: shift amount %d out of range", i.Imm)
+		}
+		fn := map[Op]uint32{OpSLL: fnSLL, OpSRL: fnSRL, OpSRA: fnSRA}[i.Op]
+		return rtype(fn, 0, i.Rt, i.Rd, uint32(i.Imm)), nil
+	case OpSLLV, OpSRLV, OpSRAV, OpADD, OpADDU, OpSUB, OpSUBU, OpAND,
+		OpOR, OpXOR, OpNOR, OpSLT, OpSLTU:
+		fn := map[Op]uint32{
+			OpSLLV: fnSLLV, OpSRLV: fnSRLV, OpSRAV: fnSRAV,
+			OpADD: fnADD, OpADDU: fnADDU, OpSUB: fnSUB, OpSUBU: fnSUBU,
+			OpAND: fnAND, OpOR: fnOR, OpXOR: fnXOR, OpNOR: fnNOR,
+			OpSLT: fnSLT, OpSLTU: fnSLTU,
+		}[i.Op]
+		return rtype(fn, i.Rs, i.Rt, i.Rd, 0), nil
+	case OpJR:
+		return rtype(fnJR, i.Rs, 0, 0, 0), nil
+	case OpJALR:
+		return rtype(fnJALR, i.Rs, 0, i.Rd, 0), nil
+	case OpMUL, OpMULH, OpDIVOP, OpREMOP:
+		fn := map[Op]uint32{
+			OpMUL: fn2MUL, OpMULH: fn2MULH, OpDIVOP: fn2DIV, OpREMOP: fn2REM,
+		}[i.Op]
+		return opcSpecial2<<26 | rtype(fn, i.Rs, i.Rt, i.Rd, 0), nil
+	case OpFADD, OpFMUL, OpFDIV:
+		fn := map[Op]uint32{OpFADD: fnFADD, OpFMUL: fnFMUL, OpFDIV: fnFDIV}[i.Op]
+		return opcFP<<26 | rtype(fn, i.Rs, i.Rt, i.Rd, 0), nil
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU:
+		opc := map[Op]uint32{
+			OpADDI: opcADDI, OpADDIU: opcADDIU, OpSLTI: opcSLTI, OpSLTIU: opcSLTIU,
+		}[i.Op]
+		imm, err := imm16()
+		if err != nil {
+			return 0, err
+		}
+		return itype(opc, i.Rs, i.Rt, imm), nil
+	case OpANDI, OpORI, OpXORI, OpLUI:
+		opc := map[Op]uint32{
+			OpANDI: opcANDI, OpORI: opcORI, OpXORI: opcXORI, OpLUI: opcLUI,
+		}[i.Op]
+		imm, err := uimm16()
+		if err != nil {
+			return 0, err
+		}
+		return itype(opc, i.Rs, i.Rt, imm), nil
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpSB, OpSH, OpSW:
+		opc := map[Op]uint32{
+			OpLB: opcLB, OpLBU: opcLBU, OpLH: opcLH, OpLHU: opcLHU, OpLW: opcLW,
+			OpSB: opcSB, OpSH: opcSH, OpSW: opcSW,
+		}[i.Op]
+		imm, err := imm16()
+		if err != nil {
+			return 0, err
+		}
+		return itype(opc, i.Rs, i.Rt, imm), nil
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ:
+		opc := map[Op]uint32{
+			OpBEQ: opcBEQ, OpBNE: opcBNE, OpBLEZ: opcBLEZ, OpBGTZ: opcBGTZ,
+		}[i.Op]
+		imm, err := imm16()
+		if err != nil {
+			return 0, err
+		}
+		return itype(opc, i.Rs, i.Rt, imm), nil
+	case OpBLTZ:
+		imm, err := imm16()
+		if err != nil {
+			return 0, err
+		}
+		return itype(opcRegimm, i.Rs, Reg(rtBLTZ), imm), nil
+	case OpBGEZ:
+		imm, err := imm16()
+		if err != nil {
+			return 0, err
+		}
+		return itype(opcRegimm, i.Rs, Reg(rtBGEZ), imm), nil
+	case OpJ, OpJAL:
+		if i.Target >= 1<<26 {
+			return 0, fmt.Errorf("isa: jump target 0x%x out of range", i.Target)
+		}
+		opc := uint32(opcJ)
+		if i.Op == OpJAL {
+			opc = opcJAL
+		}
+		return opc<<26 | i.Target, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode op %s", i.Op)
+}
+
+// Decode reverses Encode. Unknown encodings yield an error.
+func Decode(w uint32) (Instr, error) {
+	if w == 0 {
+		return Instr{Op: OpNOP}, nil
+	}
+	opc := w >> 26
+	rs := Reg(w >> 21 & 31)
+	rt := Reg(w >> 16 & 31)
+	rd := Reg(w >> 11 & 31)
+	shamt := int32(w >> 6 & 31)
+	funct := w & 63
+	imm := int32(int16(w & 0xffff))
+	uimm := int32(w & 0xffff)
+
+	switch opc {
+	case opcSpecial:
+		switch funct {
+		case fnSLL, fnSRL, fnSRA:
+			op := map[uint32]Op{fnSLL: OpSLL, fnSRL: OpSRL, fnSRA: OpSRA}[funct]
+			return Instr{Op: op, Rd: rd, Rt: rt, Imm: shamt}, nil
+		case fnSLLV, fnSRLV, fnSRAV, fnADD, fnADDU, fnSUB, fnSUBU,
+			fnAND, fnOR, fnXOR, fnNOR, fnSLT, fnSLTU:
+			op := map[uint32]Op{
+				fnSLLV: OpSLLV, fnSRLV: OpSRLV, fnSRAV: OpSRAV,
+				fnADD: OpADD, fnADDU: OpADDU, fnSUB: OpSUB, fnSUBU: OpSUBU,
+				fnAND: OpAND, fnOR: OpOR, fnXOR: OpXOR, fnNOR: OpNOR,
+				fnSLT: OpSLT, fnSLTU: OpSLTU,
+			}[funct]
+			return Instr{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil
+		case fnJR:
+			return Instr{Op: OpJR, Rs: rs}, nil
+		case fnJALR:
+			return Instr{Op: OpJALR, Rd: rd, Rs: rs}, nil
+		}
+	case opcSpecial2:
+		switch funct {
+		case fn2MUL:
+			return Instr{Op: OpMUL, Rd: rd, Rs: rs, Rt: rt}, nil
+		case fn2MULH:
+			return Instr{Op: OpMULH, Rd: rd, Rs: rs, Rt: rt}, nil
+		case fn2DIV:
+			return Instr{Op: OpDIVOP, Rd: rd, Rs: rs, Rt: rt}, nil
+		case fn2REM:
+			return Instr{Op: OpREMOP, Rd: rd, Rs: rs, Rt: rt}, nil
+		}
+	case opcFP:
+		switch funct {
+		case fnFADD:
+			return Instr{Op: OpFADD, Rd: rd, Rs: rs, Rt: rt}, nil
+		case fnFMUL:
+			return Instr{Op: OpFMUL, Rd: rd, Rs: rs, Rt: rt}, nil
+		case fnFDIV:
+			return Instr{Op: OpFDIV, Rd: rd, Rs: rs, Rt: rt}, nil
+		}
+	case opcRegimm:
+		switch uint32(rt) {
+		case rtBLTZ:
+			return Instr{Op: OpBLTZ, Rs: rs, Imm: imm}, nil
+		case rtBGEZ:
+			return Instr{Op: OpBGEZ, Rs: rs, Imm: imm}, nil
+		}
+	case opcJ:
+		return Instr{Op: OpJ, Target: w & (1<<26 - 1)}, nil
+	case opcJAL:
+		return Instr{Op: OpJAL, Target: w & (1<<26 - 1)}, nil
+	case opcBEQ:
+		return Instr{Op: OpBEQ, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcBNE:
+		return Instr{Op: OpBNE, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcBLEZ:
+		return Instr{Op: OpBLEZ, Rs: rs, Imm: imm}, nil
+	case opcBGTZ:
+		return Instr{Op: OpBGTZ, Rs: rs, Imm: imm}, nil
+	case opcADDI:
+		return Instr{Op: OpADDI, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcADDIU:
+		return Instr{Op: OpADDIU, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcSLTI:
+		return Instr{Op: OpSLTI, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcSLTIU:
+		return Instr{Op: OpSLTIU, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcANDI:
+		return Instr{Op: OpANDI, Rs: rs, Rt: rt, Imm: uimm}, nil
+	case opcORI:
+		return Instr{Op: OpORI, Rs: rs, Rt: rt, Imm: uimm}, nil
+	case opcXORI:
+		return Instr{Op: OpXORI, Rs: rs, Rt: rt, Imm: uimm}, nil
+	case opcLUI:
+		return Instr{Op: OpLUI, Rt: rt, Imm: uimm}, nil
+	case opcLB:
+		return Instr{Op: OpLB, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcLBU:
+		return Instr{Op: OpLBU, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcLH:
+		return Instr{Op: OpLH, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcLHU:
+		return Instr{Op: OpLHU, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcLW:
+		return Instr{Op: OpLW, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcSB:
+		return Instr{Op: OpSB, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcSH:
+		return Instr{Op: OpSH, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcSW:
+		return Instr{Op: OpSW, Rs: rs, Rt: rt, Imm: imm}, nil
+	case opcHALT:
+		return Instr{Op: OpHALT}, nil
+	}
+	return Instr{}, fmt.Errorf("isa: cannot decode word 0x%08x", w)
+}

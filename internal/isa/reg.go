@@ -1,0 +1,120 @@
+// Package isa defines the MIPS-I-like 32-bit instruction set used by the
+// DMDP reproduction: instruction semantics, binary encoding/decoding and
+// disassembly.
+//
+// The ISA follows MIPS-I conventions (32 general-purpose registers, $0
+// hard-wired to zero, little-endian memory, 4-byte words) but, like the
+// machine simulated in the paper, has no branch delay slots. Three
+// additional logical registers ($32..$34) exist only inside the hardware:
+// they are the destinations of cracked MicroOps (address generation,
+// predicated load temporaries and predicates) and are never encodable in
+// program text.
+package isa
+
+import "fmt"
+
+// Reg identifies a logical (architectural or hardware-only) register.
+type Reg uint8
+
+// Architectural registers $0..$31 plus the hardware-only registers used by
+// MicroOp cracking (paper §IV-A, Fig. 7/8).
+const (
+	Zero Reg = 0 // $0, hard-wired zero
+	AT   Reg = 1 // $1, assembler temporary
+	V0   Reg = 2 // $2..$3, results
+	V1   Reg = 3
+	A0   Reg = 4 // $4..$7, arguments
+	A1   Reg = 5
+	A2   Reg = 6
+	A3   Reg = 7
+	T0   Reg = 8 // $8..$15, caller-saved temporaries
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // $16..$23, callee-saved
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26
+	K1   Reg = 27
+	GP   Reg = 28
+	SP   Reg = 29
+	FP   Reg = 30
+	RA   Reg = 31
+
+	// Hardware-only registers, visible to MicroOps but not to programs.
+	HwAddr Reg = 32 // $32: address-generation destination (paper Fig. 7)
+	HwTmp  Reg = 33 // $33: predicated-load cache-read temporary (Fig. 8)
+	HwPred Reg = 34 // $34: predicate produced by CMP (Fig. 8)
+
+	// NumArchRegs counts the program-visible registers.
+	NumArchRegs = 32
+	// NumLogicalRegs counts architectural plus hardware-only registers;
+	// this is the size of the rename table.
+	NumLogicalRegs = 35
+
+	// NoReg marks "no register" in source/destination slots.
+	NoReg Reg = 0xFF
+)
+
+var regNames = [NumLogicalRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+	"hwaddr", "hwtmp", "hwpred",
+}
+
+// String returns the conventional MIPS name prefixed with '$'.
+func (r Reg) String() string {
+	if r == NoReg {
+		return "$none"
+	}
+	if int(r) < len(regNames) {
+		return "$" + regNames[r]
+	}
+	return fmt.Sprintf("$?%d", uint8(r))
+}
+
+// Valid reports whether r names a logical register.
+func (r Reg) Valid() bool { return r < NumLogicalRegs }
+
+// Architectural reports whether r is program-visible ($0..$31).
+func (r Reg) Architectural() bool { return r < NumArchRegs }
+
+// RegByName resolves a register name ("t0", "$t0", "$8", "8") to a Reg.
+func RegByName(name string) (Reg, bool) {
+	if name == "" {
+		return NoReg, false
+	}
+	if name[0] == '$' {
+		name = name[1:]
+	}
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	// Numeric form.
+	v := 0
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return NoReg, false
+		}
+		v = v*10 + int(c-'0')
+		if v >= NumLogicalRegs {
+			return NoReg, false
+		}
+	}
+	return Reg(v), true
+}

@@ -1,0 +1,118 @@
+// Package mem provides the sparse little-endian memory image shared by the
+// functional emulator and the timing model (which maintains a second image
+// reflecting only *committed* stores, so speculation outcomes can be
+// decided exactly).
+package mem
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Image is a sparse 32-bit byte-addressable memory. The zero value is an
+// empty image; unwritten bytes read as zero.
+type Image struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewImage returns an empty memory image.
+func NewImage() *Image {
+	return &Image{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Image) page(addr uint32, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Byte returns the byte at addr.
+func (m *Image) Byte(addr uint32) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&pageMask]
+	}
+	return 0
+}
+
+// SetByte stores b at addr.
+func (m *Image) SetByte(addr uint32, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Word returns the little-endian 32-bit word at addr (which may be
+// unaligned; the emulator enforces alignment separately).
+func (m *Image) Word(addr uint32) uint32 {
+	return uint32(m.Byte(addr)) |
+		uint32(m.Byte(addr+1))<<8 |
+		uint32(m.Byte(addr+2))<<16 |
+		uint32(m.Byte(addr+3))<<24
+}
+
+// SetWord stores the little-endian 32-bit word v at addr.
+func (m *Image) SetWord(addr uint32, v uint32) {
+	m.SetByte(addr, byte(v))
+	m.SetByte(addr+1, byte(v>>8))
+	m.SetByte(addr+2, byte(v>>16))
+	m.SetByte(addr+3, byte(v>>24))
+}
+
+// Half returns the little-endian 16-bit halfword at addr.
+func (m *Image) Half(addr uint32) uint16 {
+	return uint16(m.Byte(addr)) | uint16(m.Byte(addr+1))<<8
+}
+
+// SetHalf stores the little-endian 16-bit halfword v at addr.
+func (m *Image) SetHalf(addr uint32, v uint16) {
+	m.SetByte(addr, byte(v))
+	m.SetByte(addr+1, byte(v>>8))
+}
+
+// Read reads size (1, 2 or 4) bytes at addr as a zero-extended value.
+func (m *Image) Read(addr, size uint32) uint32 {
+	switch size {
+	case 1:
+		return uint32(m.Byte(addr))
+	case 2:
+		return uint32(m.Half(addr))
+	default:
+		return m.Word(addr)
+	}
+}
+
+// Write writes the low size (1, 2 or 4) bytes of v at addr.
+func (m *Image) Write(addr, size, v uint32) {
+	switch size {
+	case 1:
+		m.SetByte(addr, byte(v))
+	case 2:
+		m.SetHalf(addr, uint16(v))
+	default:
+		m.SetWord(addr, v)
+	}
+}
+
+// SetBytes copies data into memory starting at addr.
+func (m *Image) SetBytes(addr uint32, data []byte) {
+	for i, b := range data {
+		m.SetByte(addr+uint32(i), b)
+	}
+}
+
+// Clone returns a deep copy of the image.
+func (m *Image) Clone() *Image {
+	c := NewImage()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// Pages returns the number of allocated pages (for footprint reporting).
+func (m *Image) Pages() int { return len(m.pages) }

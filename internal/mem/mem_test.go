@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := NewImage()
+	if m.Word(0x1234) != 0 || m.Byte(0) != 0 || m.Half(0xffff_fffe) != 0 {
+		t.Fatal("unwritten memory must read zero")
+	}
+}
+
+func TestWordRoundTripLittleEndian(t *testing.T) {
+	m := NewImage()
+	m.SetWord(0x100, 0x11223344)
+	if m.Byte(0x100) != 0x44 || m.Byte(0x103) != 0x11 {
+		t.Fatal("not little endian")
+	}
+	if m.Word(0x100) != 0x11223344 {
+		t.Fatal("word round trip failed")
+	}
+	if m.Half(0x100) != 0x3344 || m.Half(0x102) != 0x1122 {
+		t.Fatal("half reads wrong")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := NewImage()
+	addr := uint32(pageSize - 2) // word straddles the first page boundary
+	m.SetWord(addr, 0xdeadbeef)
+	if m.Word(addr) != 0xdeadbeef {
+		t.Fatal("cross-page word failed")
+	}
+	if m.Pages() != 2 {
+		t.Fatalf("expected 2 pages, got %d", m.Pages())
+	}
+}
+
+func TestSizeDispatch(t *testing.T) {
+	m := NewImage()
+	m.Write(0x10, 4, 0xaabbccdd)
+	if m.Read(0x10, 1) != 0xdd || m.Read(0x10, 2) != 0xccdd || m.Read(0x10, 4) != 0xaabbccdd {
+		t.Fatal("sized reads wrong")
+	}
+	m.Write(0x10, 1, 0x11)
+	if m.Read(0x10, 4) != 0xaabbcc11 {
+		t.Fatal("byte write clobbered word")
+	}
+	m.Write(0x12, 2, 0x9988)
+	if m.Read(0x10, 4) != 0x9988cc11 {
+		t.Fatal("half write wrong")
+	}
+}
+
+func TestSetBytesAndClone(t *testing.T) {
+	m := NewImage()
+	m.SetBytes(0x2000, []byte{1, 2, 3, 4, 5})
+	c := m.Clone()
+	m.SetByte(0x2000, 0xff)
+	if c.Byte(0x2000) != 1 {
+		t.Fatal("clone not independent")
+	}
+	if c.Byte(0x2004) != 5 {
+		t.Fatal("clone lost data")
+	}
+}
+
+func TestReadWriteProperty(t *testing.T) {
+	m := NewImage()
+	f := func(addr uint32, v uint32, size8 uint8) bool {
+		size := uint32(1) << (size8 % 3) // 1, 2, 4
+		m.Write(addr, size, v)
+		mask := uint32(0xffffffff)
+		if size < 4 {
+			mask = 1<<(8*size) - 1
+		}
+		return m.Read(addr, size) == v&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

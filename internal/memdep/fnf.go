@@ -1,0 +1,89 @@
+package memdep
+
+// Fire-and-Forget (Subramaniam & Loh, MICRO 2006) is the other
+// store-queue-free design the paper discusses (§VII): instead of the
+// *load* predicting which store it depends on, the *store* predicts
+// which upcoming load consumes its value and forwards to it directly.
+// The paper chose NoSQ as its substrate because store-side prediction
+// cannot see the branches between the store and the dependent load —
+// it is inherently path-insensitive. The FnF model in this reproduction
+// exists to measure exactly that claim (experiment alt-fnf).
+
+// FnFConfig sizes the Store Forwarding Table.
+type FnFConfig struct {
+	Sets     int
+	Ways     int
+	ConfInit uint8
+	ConfMax  uint8
+	ConfHigh uint8
+}
+
+// DefaultFnFConfig matches the SDP's storage budget.
+func DefaultFnFConfig() FnFConfig {
+	return FnFConfig{Sets: 256, Ways: 4, ConfInit: 64, ConfMax: 127, ConfHigh: 63}
+}
+
+// FnFPrediction is a store's consumer-load prediction.
+type FnFPrediction struct {
+	// LoadDist is the number of loads renamed between this store and
+	// its predicted consumer (0 = the next load).
+	LoadDist int64
+	// Confident gates forwarding.
+	Confident bool
+}
+
+// SFT is the Store Forwarding Table: store PC -> predicted consumer load
+// distance, measured in load sequence numbers (LSNs).
+type SFT struct {
+	cfg   FnFConfig
+	table *sdpTable
+
+	Predictions, Hits, Trainings int64
+}
+
+// NewSFT builds the table.
+func NewSFT(cfg FnFConfig) *SFT {
+	return &SFT{cfg: cfg, table: newSDPTable(cfg.Sets, cfg.Ways)}
+}
+
+func (s *SFT) index(pc uint32) uint32 { return pc >> 2 }
+
+// Predict returns the store's consumer-load prediction (ok=false when the
+// store has no known consumer).
+func (s *SFT) Predict(storePC uint32) (FnFPrediction, bool) {
+	s.Predictions++
+	e := s.table.find(s.index(storePC), s.index(storePC))
+	if e == nil {
+		return FnFPrediction{}, false
+	}
+	s.Hits++
+	return FnFPrediction{LoadDist: e.dist, Confident: e.conf > s.cfg.ConfHigh}, true
+}
+
+// TrainCorrect rewards a correct forwarding.
+func (s *SFT) TrainCorrect(storePC uint32, loadDist int64) {
+	s.Trainings++
+	e := s.table.find(s.index(storePC), s.index(storePC))
+	if e == nil {
+		s.table.insert(s.index(storePC), s.index(storePC), loadDist, s.cfg.ConfInit)
+		return
+	}
+	if e.conf < s.cfg.ConfMax {
+		e.conf++
+	}
+	e.dist = loadDist
+}
+
+// TrainWrong records a mispredicted or newly discovered consumer.
+func (s *SFT) TrainWrong(storePC uint32, actualLoadDist int64) {
+	s.Trainings++
+	e := s.table.find(s.index(storePC), s.index(storePC))
+	if e == nil {
+		s.table.insert(s.index(storePC), s.index(storePC), actualLoadDist, s.cfg.ConfInit)
+		return
+	}
+	if e.conf > 0 {
+		e.conf--
+	}
+	e.dist = actualLoadDist
+}

@@ -1,0 +1,101 @@
+package memdep
+
+// StoreSets implements the Store Set memory dependence predictor
+// (Chrysos & Emer, ISCA '98) used by the baseline store-queue machine.
+// The Store Set ID Table (SSIT) maps load and store PCs to a store-set
+// id; the Last Fetched Store Table (LFST) tracks the most recently
+// renamed store of each set. A load renames with a dependence on its
+// set's last fetched store and may not issue before that store executes.
+type StoreSets struct {
+	ssit    []int32 // PC-indexed (direct mapped); -1 = no set
+	lfst    []int64 // set id -> inum of last renamed store (0 = none)
+	nextSet int32
+	numSets int
+
+	Violations, Assignments int64
+}
+
+// NewStoreSets builds the predictor with an SSIT of ssitEntries (power of
+// two) and numSets store sets.
+func NewStoreSets(ssitEntries, numSets int) *StoreSets {
+	s := &StoreSets{
+		ssit:    make([]int32, ssitEntries),
+		lfst:    make([]int64, numSets),
+		numSets: numSets,
+	}
+	for i := range s.ssit {
+		s.ssit[i] = -1
+	}
+	return s
+}
+
+func (s *StoreSets) index(pc uint32) uint32 {
+	return pc >> 2 & uint32(len(s.ssit)-1)
+}
+
+// OnViolation records a memory ordering violation between the load at
+// loadPC and the store at storePC, assigning or merging their store sets
+// (simplified merge: both adopt the lower-numbered existing set).
+func (s *StoreSets) OnViolation(loadPC, storePC uint32) {
+	s.Violations++
+	li, si := s.index(loadPC), s.index(storePC)
+	ls, ss := s.ssit[li], s.ssit[si]
+	switch {
+	case ls < 0 && ss < 0:
+		s.Assignments++
+		id := s.nextSet % int32(s.numSets)
+		s.nextSet++
+		s.ssit[li], s.ssit[si] = id, id
+	case ls < 0:
+		s.ssit[li] = ss
+	case ss < 0:
+		s.ssit[si] = ls
+	case ls < ss:
+		s.ssit[si] = ls
+	default:
+		s.ssit[li] = ss
+	}
+}
+
+// StoreRenamed is called when a store renames: it returns the dynamic
+// instruction number of the previous store in its set that this store
+// must order behind (0 = none), and records this store as the set's last
+// fetched store.
+func (s *StoreSets) StoreRenamed(storePC uint32, inum int64) int64 {
+	id := s.ssit[s.index(storePC)]
+	if id < 0 {
+		return 0
+	}
+	prev := s.lfst[id]
+	s.lfst[id] = inum
+	return prev
+}
+
+// StoreExecuted clears the LFST entry if this store is still the set's
+// last fetched store (so later loads need not wait for it).
+func (s *StoreSets) StoreExecuted(storePC uint32, inum int64) {
+	id := s.ssit[s.index(storePC)]
+	if id >= 0 && s.lfst[id] == inum {
+		s.lfst[id] = 0
+	}
+}
+
+// LoadRenamed returns the dynamic instruction number of the store the
+// load must wait for before issuing (0 = unconstrained).
+func (s *StoreSets) LoadRenamed(loadPC uint32) int64 {
+	id := s.ssit[s.index(loadPC)]
+	if id < 0 {
+		return 0
+	}
+	return s.lfst[id]
+}
+
+// Invalidate clears LFST entries referring to squashed instructions
+// (inum greater than the recovery point).
+func (s *StoreSets) Invalidate(afterInum int64) {
+	for i := range s.lfst {
+		if s.lfst[i] > afterInum {
+			s.lfst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package memdep
+
+// Store Vulnerability Window re-execution policy (paper Table II).
+//
+// Every speculative load is verified at retire by consulting the T-SSBF
+// for its youngest colliding store's SSN. Re-execution — which must wait
+// for the store buffer to drain — is required only when the colliding
+// store may have changed memory after the load obtained its value.
+
+// NeedsReexecCacheSourced applies the policy for loads that read their
+// data from the cache: re-execute iff the colliding store committed after
+// the load read (colliding SSN > the SSNcommit captured at execute,
+// "SSNnvul").
+func NeedsReexecCacheSourced(collidingSSN, ssnNvul int64) bool {
+	return collidingSSN > ssnNvul
+}
+
+// NeedsReexecStoreSourced applies the policy for loads whose data was
+// forwarded from an in-flight store (memory cloaking, or a predication
+// CMOV that selected the store's data): re-execute iff the actual
+// colliding store differs from the predicted one.
+func NeedsReexecStoreSourced(collidingSSN, ssnByp int64) bool {
+	return collidingSSN != ssnByp
+}

@@ -1,0 +1,133 @@
+// Package memdep implements the memory dependence machinery of the
+// store-queue-free designs: store sequence number (SSN) tracking, the
+// Tagged Store Sequence Bloom Filter (T-SSBF), the path-sensitive Store
+// Distance Predictor with its confidence counters (balanced update for
+// NoSQ, biased divide-by-two update for DMDP), the Store Vulnerability
+// Window re-execution policy, and the Store Sets predictor used by the
+// baseline store-queue machine.
+package memdep
+
+// SSN tracks the three globally observable store sequence registers
+// (paper §IV): Rename is incremented when a store renames, Retire when it
+// leaves the ROB for the store buffer, Commit when it writes the cache.
+type SSN struct {
+	Rename int64
+	Retire int64
+	Commit int64
+}
+
+// TSSBFConfig sets the filter geometry. The paper's configuration is
+// 128 entries, 4-way set associative (32 sets), 20-bit SSN + 4-bit BAB +
+// 25-bit tag per entry (6.125 Kbit total).
+type TSSBFConfig struct {
+	Sets int
+	Ways int
+}
+
+// DefaultTSSBFConfig matches the paper.
+func DefaultTSSBFConfig() TSSBFConfig { return TSSBFConfig{Sets: 32, Ways: 4} }
+
+type tssbfEntry struct {
+	tag   uint32
+	ssn   int64
+	bab   uint8
+	valid bool
+}
+
+// TSSBF is the Tagged Store Sequence Bloom Filter: an N-way
+// set-associative structure indexed by the (hashed) word address whose
+// sets behave as FIFOs of the last N store SSNs mapping there (paper
+// §IV-A b). Retiring stores insert; retiring loads look up their
+// youngest colliding store's SSN.
+type TSSBF struct {
+	cfg  TSSBFConfig
+	sets [][]tssbfEntry // each set ordered oldest..youngest (FIFO)
+
+	Inserts, Lookups, TagMisses int64
+}
+
+// NewTSSBF builds the filter.
+func NewTSSBF(cfg TSSBFConfig) *TSSBF {
+	t := &TSSBF{cfg: cfg, sets: make([][]tssbfEntry, cfg.Sets)}
+	for i := range t.sets {
+		t.sets[i] = make([]tssbfEntry, 0, cfg.Ways)
+	}
+	return t
+}
+
+func (t *TSSBF) index(wordAddr uint32) uint32 {
+	w := wordAddr >> 2
+	// Fold the upper bits in so distinct regions spread across sets.
+	return (w ^ w>>5 ^ w>>11) & uint32(t.cfg.Sets-1)
+}
+
+func (t *TSSBF) tag(wordAddr uint32) uint32 { return wordAddr >> 2 }
+
+// Insert records a retiring store's word address, byte-access bits and
+// SSN. Sets are FIFOs: the oldest entry leaves when the set is full. A
+// store writing a word already present still inserts a fresh entry (the
+// youngest match wins on lookup, like the paper's FIFO organization).
+func (t *TSSBF) Insert(wordAddr uint32, bab uint8, ssn int64) {
+	t.Inserts++
+	si := t.index(wordAddr)
+	set := t.sets[si]
+	if len(set) == t.cfg.Ways {
+		copy(set, set[1:])
+		set = set[:len(set)-1]
+	}
+	t.sets[si] = append(set, tssbfEntry{tag: t.tag(wordAddr), ssn: ssn, bab: bab, valid: true})
+}
+
+// Lookup returns the SSN of the youngest store whose word address matches
+// and whose byte-access bits overlap the load's. When no entry matches,
+// the smallest SSN in the set is returned (a conservative lower bound: the
+// colliding store, if any, retired at least that long ago). An empty set
+// returns 0 (no possible in-flight collision).
+func (t *TSSBF) Lookup(wordAddr uint32, bab uint8) int64 {
+	t.Lookups++
+	set := t.sets[t.index(wordAddr)]
+	tag := t.tag(wordAddr)
+	// Youngest first: scan from the back of the FIFO.
+	for i := len(set) - 1; i >= 0; i-- {
+		e := set[i]
+		if e.valid && e.tag == tag && e.bab&bab != 0 {
+			return e.ssn
+		}
+	}
+	t.TagMisses++
+	min := int64(0)
+	for _, e := range set {
+		if e.valid && (min == 0 || e.ssn < min) {
+			min = e.ssn
+		}
+	}
+	return min
+}
+
+// LookupCovering reports, in addition to Lookup, whether a real tag match
+// was found (vs the conservative set-minimum fallback) and whether the
+// matching store's byte-access bits fully cover the load's (store.bab &
+// load.bab == load.bab, paper Fig. 11). Training should only create
+// dependencies on tag matches; the fallback SSN is an upper bound for the
+// vulnerability check, not evidence of a collision.
+func (t *TSSBF) LookupCovering(wordAddr uint32, bab uint8) (ssn int64, tagMatch, covered bool) {
+	set := t.sets[t.index(wordAddr)]
+	tag := t.tag(wordAddr)
+	for i := len(set) - 1; i >= 0; i-- {
+		e := set[i]
+		if e.valid && e.tag == tag && e.bab&bab != 0 {
+			return e.ssn, true, e.bab&bab == bab
+		}
+	}
+	return t.Lookup(wordAddr, bab), false, false
+}
+
+// InvalidateLine implements the multi-core consistency hook (paper §IV-F):
+// when another core invalidates a cache line, every word of that line is
+// written into the filter with full byte-access bits and SSN commit+1, so
+// in-flight loads that already read those words re-execute.
+func (t *TSSBF) InvalidateLine(lineAddr uint32, lineBytes int, ssnCommitPlus1 int64) {
+	for off := 0; off < lineBytes; off += 4 {
+		t.Insert(lineAddr+uint32(off), 0xf, ssnCommitPlus1)
+	}
+}

@@ -1,0 +1,121 @@
+// Package power implements the event-based dynamic energy model standing
+// in for the paper's McPAT 1.4 setup. Each microarchitectural event costs
+// a fixed energy; static power accrues per cycle. The paper's power claim
+// is relative (DMDP's EDP normalized to NoSQ), which depends on cycle
+// counts and event-count deltas — extra CMP/CMOV MicroOps, removed store
+// queue CAM searches, added recoveries — all of which the core counts
+// exactly. Absolute joules are not calibrated.
+package power
+
+import (
+	"sort"
+
+	"dmdp/internal/core"
+)
+
+// Params is the per-event energy table (picojoules) plus static power
+// (picojoules per cycle). Defaults are in the range McPAT reports for a
+// 32 nm high-performance core.
+type Params struct {
+	RegRead    float64
+	RegWrite   float64
+	IQInsert   float64
+	IQWakeup   float64
+	ROBWrite   float64
+	SQSearch   float64 // associative store queue search (baseline only)
+	TSSBF      float64 // per read or write
+	SDP        float64 // store distance predictor access
+	TLBAccess  float64
+	L1Access   float64
+	L2Access   float64
+	DRAMAccess float64
+	UopExec    float64 // functional unit energy per executed uop
+	SquashUop  float64 // recovery overhead per squashed uop
+	Static     float64 // per-cycle leakage + clock tree
+}
+
+// DefaultParams returns the reference energy table.
+func DefaultParams() Params {
+	return Params{
+		RegRead:    0.8,
+		RegWrite:   1.2,
+		IQInsert:   1.6,
+		IQWakeup:   1.0,
+		ROBWrite:   1.1,
+		SQSearch:   6.0, // CAM: the expensive structure the SQ-free designs remove
+		TSSBF:      0.7,
+		SDP:        0.8,
+		TLBAccess:  0.6,
+		L1Access:   22,
+		L2Access:   95,
+		DRAMAccess: 4000,
+		UopExec:    3.2,
+		SquashUop:  2.5,
+		Static:     45,
+	}
+}
+
+// Component identifies one energy sink in the breakdown.
+type Component struct {
+	Name     string
+	EnergyPJ float64
+}
+
+// Result is the energy accounting for one run.
+type Result struct {
+	DynamicPJ float64
+	StaticPJ  float64
+	TotalPJ   float64
+	// EDP is energy × delay (pJ·cycles); meaningful in ratios.
+	EDP float64
+	// EPI is energy per retired instruction (pJ).
+	EPI float64
+	// Breakdown lists per-structure dynamic energy, largest first.
+	Breakdown []Component
+}
+
+// Compute evaluates the model over a run's statistics.
+func Compute(st *core.Stats, p Params) Result {
+	parts := []Component{
+		{"regfile-read", p.RegRead * float64(st.RegReads)},
+		{"regfile-write", p.RegWrite * float64(st.RegWrites)},
+		{"iq-insert", p.IQInsert * float64(st.IQInserts)},
+		{"iq-wakeup", p.IQWakeup * float64(st.IQWakeups)},
+		{"rob", p.ROBWrite * float64(st.ROBWrites)},
+		{"sq-cam", p.SQSearch * float64(st.SQSearches)},
+		{"t-ssbf", p.TSSBF * float64(st.TSSBFReads+st.TSSBFWrites)},
+		{"sdp", p.SDP * float64(st.SDPReads+st.SDPWrites)},
+		{"tlb", p.TLBAccess * float64(st.TLBAccesses)},
+		{"l1d", p.L1Access * float64(st.CacheAccesses)},
+		{"l2", p.L2Access * float64(st.L2Accesses)},
+		{"dram", p.DRAMAccess * float64(st.DRAMAccesses)},
+		{"execute", p.UopExec * float64(st.Uops)},
+		{"squash", p.SquashUop * float64(st.SquashedUops)},
+	}
+	var dyn float64
+	for _, c := range parts {
+		dyn += c.EnergyPJ
+	}
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].EnergyPJ > parts[j].EnergyPJ })
+	static := p.Static * float64(st.Cycles)
+	total := dyn + static
+	r := Result{
+		DynamicPJ: dyn,
+		StaticPJ:  static,
+		TotalPJ:   total,
+		EDP:       total * float64(st.Cycles),
+		Breakdown: parts,
+	}
+	if st.Instructions > 0 {
+		r.EPI = total / float64(st.Instructions)
+	}
+	return r
+}
+
+// TopConsumers returns the n largest dynamic-energy components.
+func (r *Result) TopConsumers(n int) []Component {
+	if n > len(r.Breakdown) {
+		n = len(r.Breakdown)
+	}
+	return r.Breakdown[:n]
+}

@@ -1,0 +1,94 @@
+package power
+
+import (
+	"testing"
+
+	"dmdp/internal/core"
+)
+
+func TestComputeBasic(t *testing.T) {
+	st := &core.Stats{
+		Cycles:       1000,
+		Instructions: 2000,
+		Uops:         2500,
+		RegReads:     4000,
+		RegWrites:    2000,
+	}
+	p := DefaultParams()
+	r := Compute(st, p)
+	wantDyn := p.RegRead*4000 + p.RegWrite*2000 + p.UopExec*2500
+	if r.DynamicPJ != wantDyn {
+		t.Fatalf("dynamic %f, want %f", r.DynamicPJ, wantDyn)
+	}
+	if r.StaticPJ != p.Static*1000 {
+		t.Fatalf("static %f", r.StaticPJ)
+	}
+	if r.TotalPJ != r.DynamicPJ+r.StaticPJ {
+		t.Fatal("total mismatch")
+	}
+	if r.EDP != r.TotalPJ*1000 {
+		t.Fatal("EDP mismatch")
+	}
+	if r.EPI != r.TotalPJ/2000 {
+		t.Fatal("EPI mismatch")
+	}
+}
+
+func TestZeroStats(t *testing.T) {
+	r := Compute(&core.Stats{}, DefaultParams())
+	if r.TotalPJ != 0 || r.EDP != 0 || r.EPI != 0 {
+		t.Fatalf("zero stats must give zero energy: %+v", r)
+	}
+}
+
+func TestSQSearchesCostBaselineEnergy(t *testing.T) {
+	p := DefaultParams()
+	withSQ := Compute(&core.Stats{Cycles: 100, SQSearches: 1000}, p)
+	without := Compute(&core.Stats{Cycles: 100}, p)
+	if withSQ.TotalPJ-without.TotalPJ != p.SQSearch*1000 {
+		t.Fatal("SQ search energy not accounted")
+	}
+}
+
+func TestFasterRunWinsEDPDespiteMoreEnergy(t *testing.T) {
+	p := DefaultParams()
+	// DMDP-like: slightly more dynamic events, fewer cycles.
+	slow := Compute(&core.Stats{Cycles: 2000, Uops: 1000}, p)
+	fast := Compute(&core.Stats{Cycles: 1500, Uops: 1200}, p)
+	if fast.EDP >= slow.EDP {
+		t.Fatalf("faster run should win EDP: %f vs %f", fast.EDP, slow.EDP)
+	}
+}
+
+func TestBreakdownSumsToDynamic(t *testing.T) {
+	st := &core.Stats{
+		Cycles: 100, Uops: 50, RegReads: 10, RegWrites: 5,
+		SQSearches: 3, CacheAccesses: 7, DRAMAccesses: 1,
+	}
+	r := Compute(st, DefaultParams())
+	var sum float64
+	for _, c := range r.Breakdown {
+		sum += c.EnergyPJ
+	}
+	if diff := sum - r.DynamicPJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("breakdown sums to %f, dynamic %f", sum, r.DynamicPJ)
+	}
+	// Sorted descending.
+	for i := 1; i < len(r.Breakdown); i++ {
+		if r.Breakdown[i].EnergyPJ > r.Breakdown[i-1].EnergyPJ {
+			t.Fatal("breakdown not sorted")
+		}
+	}
+}
+
+func TestTopConsumers(t *testing.T) {
+	st := &core.Stats{Cycles: 10, DRAMAccesses: 100, Uops: 1}
+	r := Compute(st, DefaultParams())
+	top := r.TopConsumers(1)
+	if len(top) != 1 || top[0].Name != "dram" {
+		t.Fatalf("top consumer %+v", top)
+	}
+	if len(r.TopConsumers(100)) != len(r.Breakdown) {
+		t.Fatal("TopConsumers must clamp")
+	}
+}

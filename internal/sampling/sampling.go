@@ -1,0 +1,162 @@
+// Package sampling implements interval sampling in the spirit of the
+// paper's SimPoint methodology (§V): instead of simulating a whole
+// program, weighted intervals are simulated independently — each from a
+// cold start, like the paper's checkpoints, which carry only the memory
+// image and architectural registers — and their statistics are combined
+// by weight. The paper compensates for cold predictors with large (100M)
+// intervals; this package makes the interval length a parameter.
+package sampling
+
+import (
+	"fmt"
+
+	"dmdp/internal/config"
+	"dmdp/internal/core"
+	"dmdp/internal/trace"
+)
+
+// Interval is a half-open [Start, End) range of trace indices with a
+// SimPoint-style weight.
+type Interval struct {
+	Start, End int
+	Weight     float64
+}
+
+// Plan is a set of intervals to simulate.
+type Plan struct {
+	Intervals []Interval
+	// Warmup prepends up to this many trace entries before each
+	// interval; they execute (warming caches and predictors) but their
+	// statistics are discarded. The paper's checkpoints start cold and
+	// compensate with interval size (§V); warmup is the explicit
+	// alternative.
+	Warmup int
+}
+
+// WithWarmup returns a copy of the plan using n warmup entries per
+// interval.
+func (p Plan) WithWarmup(n int) Plan {
+	p.Warmup = n
+	return p
+}
+
+// Uniform builds a plan of count intervals of length intervalLen spread
+// evenly across a trace of traceLen entries, equally weighted (systematic
+// sampling — the degenerate SimPoint configuration).
+func Uniform(traceLen, intervalLen, count int) (Plan, error) {
+	if traceLen <= 0 || intervalLen <= 0 || count <= 0 {
+		return Plan{}, fmt.Errorf("sampling: non-positive plan parameters")
+	}
+	if intervalLen*count > traceLen {
+		return Plan{}, fmt.Errorf("sampling: %d intervals of %d exceed trace length %d",
+			count, intervalLen, traceLen)
+	}
+	var p Plan
+	stride := traceLen / count
+	for i := 0; i < count; i++ {
+		start := i * stride
+		p.Intervals = append(p.Intervals, Interval{
+			Start:  start,
+			End:    start + intervalLen,
+			Weight: 1.0 / float64(count),
+		})
+	}
+	return p, nil
+}
+
+// Slice extracts one interval as a standalone trace: the memory image is
+// rolled forward to the interval start (exactly what the paper's
+// checkpoints capture — "the complete memory data segment, the register
+// file and the PC"; caches and predictors start cold), and the
+// dependence analysis is recomputed within the interval, so loads whose
+// writers predate the interval read their values from the image, as on
+// the real checkpointed machine.
+func Slice(tr *trace.Trace, iv Interval) (*trace.Trace, error) {
+	if iv.Start < 0 || iv.End > len(tr.Entries) || iv.Start >= iv.End {
+		return nil, fmt.Errorf("sampling: interval [%d,%d) out of range (trace %d)",
+			iv.Start, iv.End, len(tr.Entries))
+	}
+	img := tr.InitMem.Clone()
+	for i := 0; i < iv.Start; i++ {
+		e := &tr.Entries[i]
+		if e.IsStore() {
+			img.Write(e.Addr, e.Size, e.Value)
+		}
+	}
+	sub := &trace.Trace{
+		Prog:    tr.Prog,
+		Entries: append([]trace.Entry(nil), tr.Entries[iv.Start:iv.End]...),
+		InitMem: img,
+		HitHalt: false,
+	}
+	sub.Analyze()
+	return sub, nil
+}
+
+// IntervalResult pairs an interval with its simulation statistics.
+type IntervalResult struct {
+	Interval Interval
+	Stats    *core.Stats
+}
+
+// Combined is the weighted aggregate of a sampled simulation.
+type Combined struct {
+	Results []IntervalResult
+	// WeightedIPC combines interval IPCs by weight (the SimPoint
+	// estimator for whole-program IPC).
+	WeightedIPC float64
+	// WeightedMPKI combines memory dependence mispredictions per 1k
+	// instructions by weight.
+	WeightedMPKI float64
+	// TotalInstructions and TotalCycles sum over the simulated
+	// intervals (unweighted).
+	TotalInstructions, TotalCycles int64
+}
+
+// Run simulates every interval of the plan under cfg and combines the
+// results by weight.
+func Run(tr *trace.Trace, cfg config.Config, plan Plan) (*Combined, error) {
+	if len(plan.Intervals) == 0 {
+		return nil, fmt.Errorf("sampling: empty plan")
+	}
+	var out Combined
+	var wsum float64
+	for _, iv := range plan.Intervals {
+		// Extend the slice backwards by the warmup amount (clamped at
+		// the trace start) and discard that prefix from the statistics.
+		warm := plan.Warmup
+		if warm > iv.Start {
+			warm = iv.Start
+		}
+		wiv := Interval{Start: iv.Start - warm, End: iv.End, Weight: iv.Weight}
+		sub, err := Slice(tr, wiv)
+		if err != nil {
+			return nil, err
+		}
+		runCfg := cfg
+		runCfg.WarmupInstructions = int64(warm)
+		c, err := core.New(runCfg, sub)
+		if err != nil {
+			return nil, err
+		}
+		st, err := c.Run()
+		if err != nil {
+			return nil, fmt.Errorf("sampling: interval [%d,%d): %w", iv.Start, iv.End, err)
+		}
+		out.Results = append(out.Results, IntervalResult{Interval: iv, Stats: st})
+		if st.Instructions != int64(iv.End-iv.Start) {
+			return nil, fmt.Errorf("sampling: interval [%d,%d) measured %d instructions",
+				iv.Start, iv.End, st.Instructions)
+		}
+		out.WeightedIPC += iv.Weight * st.IPC()
+		out.WeightedMPKI += iv.Weight * st.MPKI()
+		out.TotalInstructions += st.Instructions
+		out.TotalCycles += st.Cycles
+		wsum += iv.Weight
+	}
+	if wsum > 0 {
+		out.WeightedIPC /= wsum
+		out.WeightedMPKI /= wsum
+	}
+	return &out, nil
+}

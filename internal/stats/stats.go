@@ -1,0 +1,144 @@
+// Package stats provides the aggregation and text-rendering helpers the
+// experiment harness uses: geometric means (the paper reports Int/FP
+// geomeans), ratios and aligned tables.
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (0 for empty input; panics on
+// non-positive values, which indicate an upstream bug).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// SpeedupPct converts a ratio to a percentage gain: 1.05 -> +5.0.
+func SpeedupPct(ratio float64) float64 { return (ratio - 1) * 100 }
+
+// Table renders aligned fixed-width text tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells beyond the header count are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddF appends a row of formatted values: strings pass through, float64
+// render with prec decimals, ints render plainly.
+func (t *Table) AddF(prec int, cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out = append(out, v)
+		case float64:
+			out = append(out, F(v, prec))
+		case int:
+			out = append(out, fmt.Sprintf("%d", v))
+		case int64:
+			out = append(out, fmt.Sprintf("%d", v))
+		default:
+			out = append(out, fmt.Sprint(v))
+		}
+	}
+	t.Add(out...)
+}
+
+// F formats a float with prec decimals.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Pct formats a ratio as a signed percentage ("+7.17%").
+func Pct(ratio float64) string { return fmt.Sprintf("%+.2f%%", SpeedupPct(ratio)) }
+
+// CSV renders the table as comma-separated values (header row first).
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Headers)
+	for _, row := range t.rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %f", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); g != 1 {
+		t.Fatalf("geomean(1s) = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("geomean(empty) = %f", g)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestMeanAndSpeedup(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %f", m)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean(empty)")
+	}
+	if p := SpeedupPct(1.0717); math.Abs(p-7.17) > 1e-9 {
+		t.Fatalf("speedup = %f", p)
+	}
+	if s := Pct(1.0717); s != "+7.17%" {
+		t.Fatalf("Pct = %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "bench", "ipc", "note")
+	tb.Add("perl", "1.23", "x")
+	tb.AddF(2, "bzip2", 1.5, 42)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "bench") {
+		t.Fatal("missing title/header")
+	}
+	if !strings.Contains(out, "1.50") || !strings.Contains(out, "42") {
+		t.Fatalf("AddF formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns align: every row has the same prefix width for column 2.
+	if !strings.Contains(lines[3], "perl ") {
+		t.Fatalf("alignment wrong: %q", lines[3])
+	}
+}
+
+func TestTableDropsExtraCells(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("1", "2", "3", "4")
+	if strings.Contains(tb.String(), "3") {
+		t.Fatal("extra cells must be dropped")
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F formatting wrong")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.Add("x", "1.5")
+	tb.Add("has,comma", "q\"uote")
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"has,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", lines[2])
+	}
+}

@@ -1,0 +1,44 @@
+package tlb
+
+import "testing"
+
+func TestMissThenHit(t *testing.T) {
+	b := New(Config{Entries: 4, PageBytes: 4096, MissPenalty: 20})
+	if lat := b.Translate(0x1000); lat != 20 {
+		t.Fatalf("cold miss latency %d", lat)
+	}
+	if lat := b.Translate(0x1ffc); lat != 0 {
+		t.Fatalf("same-page hit latency %d", lat)
+	}
+	if lat := b.Translate(0x2000); lat != 20 {
+		t.Fatalf("new page latency %d", lat)
+	}
+	if b.Accesses != 3 || b.Misses != 2 {
+		t.Fatalf("stats %d/%d", b.Accesses, b.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	b := New(Config{Entries: 2, PageBytes: 4096, MissPenalty: 20})
+	b.Translate(0x0000) // page 0
+	b.Translate(0x1000) // page 1
+	b.Translate(0x0000) // page 0 touched again
+	b.Translate(0x2000) // evicts page 1
+	if lat := b.Translate(0x0000); lat != 0 {
+		t.Fatal("page 0 should have survived")
+	}
+	if lat := b.Translate(0x1000); lat != 20 {
+		t.Fatal("page 1 should have been evicted")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Translate(0)
+	b.Translate(0)
+	b.Translate(4)
+	b.Translate(8)
+	if got := b.MissRate(); got != 0.25 {
+		t.Fatalf("miss rate %f", got)
+	}
+}

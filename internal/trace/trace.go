@@ -1,0 +1,284 @@
+// Package trace defines the dynamic instruction trace produced by the
+// functional emulator and the ground-truth memory dependence analysis the
+// timing models consume.
+//
+// The timing simulation is trace-driven over the architecturally correct
+// path: speculation outcomes (would this cloaked/predicated/delayed load
+// have obtained the right value?) are decided exactly by combining the
+// per-entry ground truth computed here with the committed-memory image the
+// core maintains cycle by cycle.
+package trace
+
+import (
+	"fmt"
+
+	"dmdp/internal/isa"
+	"dmdp/internal/mem"
+)
+
+// Overlap classifies how the youngest store writing any byte of a load
+// relates to the load's accessed bytes.
+type Overlap uint8
+
+// Overlap classes.
+const (
+	OverlapNone    Overlap = iota // no store in the trace wrote these bytes
+	OverlapFull                   // the youngest colliding store covers every load byte
+	OverlapPartial                // it covers only part of the load
+)
+
+func (o Overlap) String() string {
+	switch o {
+	case OverlapFull:
+		return "full"
+	case OverlapPartial:
+		return "partial"
+	}
+	return "none"
+}
+
+// Entry is one dynamic instruction on the correct path.
+type Entry struct {
+	PC    uint32
+	Instr isa.Instr
+
+	// Control flow (valid for branches and jumps).
+	Taken  bool
+	Target uint32 // architectural next PC
+
+	// Memory (valid for loads and stores).
+	Addr  uint32
+	Size  uint32
+	Value uint32 // loads: final register result; stores: raw data register value
+
+	// StoresBefore counts dynamic stores that precede this entry; it
+	// equals the store sequence number (SSN) the rename stage observes
+	// when this entry renames on the correct path.
+	StoresBefore int64
+	// LoadsBefore counts dynamic loads that precede this entry (the
+	// load sequence number space used by the Fire-and-Forget model).
+	LoadsBefore int64
+	// LoadSeq is this load's 1-based dynamic sequence number (0 for
+	// non-loads).
+	LoadSeq int64
+	// StoreSeq is this store's 1-based dynamic sequence number (0 for
+	// non-stores). On the correct path it equals the SSN the core
+	// assigns.
+	StoreSeq int64
+	// Silent marks stores that rewrote identical bytes.
+	Silent bool
+
+	// Fields below are filled by Analyze for loads.
+
+	// DepStore is the StoreSeq of the youngest store that wrote any byte
+	// this load reads (0 if the location was never stored to in this
+	// trace).
+	DepStore int64
+	// DepOverlap classifies the byte overlap with DepStore.
+	DepOverlap Overlap
+	// DepDist is StoresBefore - DepStore, the store-distance ground
+	// truth the Store Distance Predictor tries to learn (0 means the
+	// colliding store is the most recent store).
+	DepDist int64
+}
+
+// IsLoad reports whether the entry is a load.
+func (e *Entry) IsLoad() bool { return e.Instr.Op.IsLoad() }
+
+// IsStore reports whether the entry is a store.
+func (e *Entry) IsStore() bool { return e.Instr.Op.IsStore() }
+
+// WordAddr returns the word-aligned address of the access.
+func (e *Entry) WordAddr() uint32 { return e.Addr &^ 3 }
+
+// BAB returns the 4-bit byte-access-bits mask of the access within its
+// word (paper §IV-D): bit i set means byte i of the word is accessed.
+func (e *Entry) BAB() uint8 {
+	return BAB(e.Addr, e.Size)
+}
+
+// BAB computes byte access bits for an access of size bytes at addr.
+func BAB(addr, size uint32) uint8 {
+	return uint8((1<<size - 1) << (addr & 3))
+}
+
+// Trace is a collected correct-path execution.
+type Trace struct {
+	Prog    *isa.Program
+	Entries []Entry
+	// InitMem is the memory image before the first instruction executed;
+	// the timing core clones it as its committed-state image.
+	InitMem *mem.Image
+	// Stores counts dynamic stores; Loads counts dynamic loads.
+	Stores, Loads int64
+	// HitHalt reports whether execution reached HALT before the budget.
+	HitHalt bool
+}
+
+// Stepper produces trace entries one instruction at a time (implemented by
+// the functional emulator).
+type Stepper interface {
+	Step() (Entry, error)
+	Halted() bool
+}
+
+// Collect runs s for at most max instructions (HALT stops earlier),
+// analyzes memory dependences and returns the trace. InitMem must be a
+// snapshot of memory before the first Step.
+func Collect(s Stepper, max int64, prog *isa.Program, initMem *mem.Image) (*Trace, error) {
+	t := &Trace{Prog: prog, InitMem: initMem}
+	if max > 0 {
+		t.Entries = make([]Entry, 0, max)
+	}
+	for int64(len(t.Entries)) < max && !s.Halted() {
+		e, err := s.Step()
+		if err != nil {
+			return nil, fmt.Errorf("trace: at entry %d: %w", len(t.Entries), err)
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	t.HitHalt = s.Halted()
+	t.Analyze()
+	return t, nil
+}
+
+// Analyze computes, for every load, the youngest store writing any of its
+// bytes, the overlap class and the store distance; for every store, its
+// sequence number and the silent flag is expected to have been set by the
+// emulator. Analyze is idempotent.
+func (t *Trace) Analyze() {
+	// lastWriter maps word address -> per-byte youngest writer StoreSeq.
+	lastWriter := make(map[uint32]*[4]int64)
+	writerFor := func(word uint32) *[4]int64 {
+		w := lastWriter[word]
+		if w == nil {
+			w = new([4]int64)
+			lastWriter[word] = w
+		}
+		return w
+	}
+	var storeSeq, loadSeq int64
+	t.Loads, t.Stores = 0, 0
+	byteWriters := make([]int64, 0, 4)
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		e.StoresBefore = storeSeq
+		e.LoadsBefore = loadSeq
+		switch {
+		case e.IsStore():
+			storeSeq++
+			e.StoreSeq = storeSeq
+			t.Stores++
+			w := writerFor(e.WordAddr())
+			for b := uint32(0); b < e.Size; b++ {
+				w[(e.Addr+b)&3] = storeSeq
+			}
+		case e.IsLoad():
+			loadSeq++
+			e.LoadSeq = loadSeq
+			t.Loads++
+			w := lastWriter[e.WordAddr()]
+			byteWriters = byteWriters[:0]
+			var youngest int64
+			for b := uint32(0); b < e.Size; b++ {
+				var ws int64
+				if w != nil {
+					ws = w[(e.Addr+b)&3]
+				}
+				byteWriters = append(byteWriters, ws)
+				if ws > youngest {
+					youngest = ws
+				}
+			}
+			e.DepStore = youngest
+			if youngest == 0 {
+				e.DepOverlap = OverlapNone
+				e.DepDist = 0
+				continue
+			}
+			full := true
+			for _, ws := range byteWriters {
+				if ws != youngest {
+					full = false
+					break
+				}
+			}
+			// Full forwarding additionally requires the store to
+			// *contain* the load (no forwarding from a narrower
+			// store even if it is the youngest writer of every
+			// load byte — that can only happen when sizes match).
+			if full {
+				e.DepOverlap = OverlapFull
+			} else {
+				e.DepOverlap = OverlapPartial
+			}
+			e.DepDist = e.StoresBefore - e.DepStore
+		}
+	}
+}
+
+// EntryBySeq returns the index of the store with the given StoreSeq using
+// binary search over the monotone StoresBefore field. Returns -1 when the
+// seq is not in the trace.
+func (t *Trace) EntryBySeq(seq int64) int {
+	if seq <= 0 || seq > t.Stores {
+		return -1
+	}
+	lo, hi := 0, len(t.Entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.Entries[mid].StoresBefore < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first entry with StoresBefore >= seq; the store itself is
+	// the previous entry with StoreSeq == seq.
+	for i := lo - 1; i >= 0 && i > lo-16; i-- {
+		if t.Entries[i].StoreSeq == seq {
+			return i
+		}
+	}
+	// Fallback linear scan (should not happen).
+	for i := range t.Entries {
+		if t.Entries[i].StoreSeq == seq {
+			return i
+		}
+	}
+	return -1
+}
+
+// ForwardValue computes the register value a load obtains when the store
+// entry st forwards to load entry ld (full containment assumed). It
+// applies the word-relative shift and the load's masking and sign/zero
+// extension (paper §IV-D).
+func ForwardValue(st, ld *Entry) uint32 {
+	// Materialize the store's bytes within its word, then extract the
+	// load's bytes.
+	var word [4]byte
+	for b := uint32(0); b < st.Size; b++ {
+		word[(st.Addr+b)&3] = byte(st.Value >> (8 * b))
+	}
+	var v uint32
+	for b := uint32(0); b < ld.Size; b++ {
+		v |= uint32(word[(ld.Addr+b)&3]) << (8 * b)
+	}
+	return ExtendLoad(ld.Instr.Op, v)
+}
+
+// ExtendLoad applies the sign/zero extension of a load opcode to the raw
+// bytes v.
+func ExtendLoad(op isa.Op, v uint32) uint32 {
+	switch op {
+	case isa.OpLB:
+		return uint32(int32(int8(v)))
+	case isa.OpLBU:
+		return v & 0xff
+	case isa.OpLH:
+		return uint32(int32(int16(v)))
+	case isa.OpLHU:
+		return v & 0xffff
+	}
+	return v
+}

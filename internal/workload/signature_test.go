@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"dmdp/internal/config"
+	"dmdp/internal/core"
+)
+
+// These tests pin each proxy's paper-documented signature (DESIGN.md §1):
+// if a future retuning breaks the qualitative behaviour an experiment
+// depends on, it fails here rather than silently skewing EXPERIMENTS.md.
+
+func runBench(t *testing.T, name string, m config.Model, budget int64) *core.Stats {
+	t.Helper()
+	s, ok := Get(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	tr, err := s.BuildTrace(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.New(config.Default(m), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run()
+	if err != nil {
+		t.Fatalf("%s/%s: %v", name, m, err)
+	}
+	return st
+}
+
+func TestSignatureHmmerSilentStores(t *testing.T) {
+	// hmmer: NoSQ mispredicts much more than DMDP (paper 3.06 vs 1.03).
+	nosq := runBench(t, "hmmer", config.NoSQ, 80_000)
+	dmdp := runBench(t, "hmmer", config.DMDP, 80_000)
+	if nosq.MPKI() < dmdp.MPKI() {
+		t.Errorf("hmmer: NoSQ MPKI %.2f should exceed DMDP %.2f", nosq.MPKI(), dmdp.MPKI())
+	}
+	if nosq.MPKI() < 0.5 {
+		t.Errorf("hmmer: NoSQ MPKI %.2f too low for the silent-store pathology", nosq.MPKI())
+	}
+}
+
+func TestSignatureBzip2InvertedMPKI(t *testing.T) {
+	// bzip2: DMDP mispredicts more than NoSQ (paper: ~2x) because the
+	// colliding distance churns (Fig. 13), yet DMDP still wins IPC.
+	nosq := runBench(t, "bzip2", config.NoSQ, 120_000)
+	dmdp := runBench(t, "bzip2", config.DMDP, 120_000)
+	if dmdp.MPKI() < nosq.MPKI() {
+		t.Errorf("bzip2: DMDP MPKI %.2f should exceed NoSQ %.2f (inversion)", dmdp.MPKI(), nosq.MPKI())
+	}
+	if dmdp.IPC() < nosq.IPC() {
+		t.Errorf("bzip2: DMDP IPC %.3f should still beat NoSQ %.3f", dmdp.IPC(), nosq.IPC())
+	}
+}
+
+func TestSignatureWrfCriticalPath(t *testing.T) {
+	// wrf: NoSQ's delayed loads serialize the critical path; DMDP's
+	// predication gives the biggest relative win.
+	nosq := runBench(t, "wrf", config.NoSQ, 80_000)
+	dmdp := runBench(t, "wrf", config.DMDP, 80_000)
+	if gain := dmdp.IPC() / nosq.IPC(); gain < 1.10 {
+		t.Errorf("wrf: DMDP over NoSQ %+.1f%%, expected >10%%", 100*(gain-1))
+	}
+}
+
+func TestSignatureLbmMemoryBound(t *testing.T) {
+	// lbm: write-heavy streaming, high L1 miss rate, heavy SB pressure
+	// with a small store buffer.
+	st := runBench(t, "lbm", config.DMDP, 80_000)
+	if st.L1MissRate < 0.02 {
+		t.Errorf("lbm: L1 miss rate %.3f too low for a streaming proxy", st.L1MissRate)
+	}
+	s, _ := Get("lbm")
+	tr, err := s.BuildTrace(80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := core.New(config.Default(config.DMDP).WithStoreBuffer(16), tr)
+	small, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SBStallsPerKilo() < 50 {
+		t.Errorf("lbm: 16-entry SB stalls %.1f/1k too low (paper: most SB-sensitive)", small.SBStallsPerKilo())
+	}
+}
+
+func TestSignatureMcfLatencyBound(t *testing.T) {
+	// mcf: pointer chasing -> by far the longest load execution times.
+	mcf := runBench(t, "mcf", config.Baseline, 60_000)
+	perl := runBench(t, "perl", config.Baseline, 60_000)
+	if mcf.MeanLoadExecTime() < 2*perl.MeanLoadExecTime() {
+		t.Errorf("mcf loads %.1f cycles should dwarf perl %.1f",
+			mcf.MeanLoadExecTime(), perl.MeanLoadExecTime())
+	}
+}
+
+func TestSignatureStackBenchmarksCloak(t *testing.T) {
+	// sjeng/gobmk/perl: stack-spill-heavy -> bypassing dominates in NoSQ.
+	for _, name := range []string{"sjeng", "gobmk"} {
+		st := runBench(t, name, config.NoSQ, 60_000)
+		byp := float64(st.LoadCount[core.LoadBypass]) / float64(st.TotalLoads())
+		if byp < 0.5 {
+			t.Errorf("%s: bypassing share %.2f, expected cloaking-dominated", name, byp)
+		}
+	}
+}
+
+func TestSignatureStreamsAreDirect(t *testing.T) {
+	// lib/bwaves/leslie3d/namd: streaming, essentially all direct loads.
+	for _, name := range []string{"lib", "bwaves", "leslie3d", "namd"} {
+		st := runBench(t, name, config.NoSQ, 60_000)
+		direct := float64(st.LoadCount[core.LoadDirect]) / float64(st.TotalLoads())
+		if direct < 0.95 {
+			t.Errorf("%s: direct share %.2f, expected streaming-direct", name, direct)
+		}
+	}
+}
+
+func TestSignatureMilcIndepStore(t *testing.T) {
+	// milc: hashed updates -> low-confidence loads dominated by
+	// IndepStore (paper Fig. 5 names milc's naive misprediction 23.5%).
+	st := runBench(t, "milc", config.DMDP, 80_000)
+	if st.LowConfCount == 0 {
+		t.Fatal("milc: no low-confidence loads")
+	}
+	indep := float64(st.LowConfOutcomes[core.LowConfIndepStore]) / float64(st.LowConfCount)
+	if indep < 0.8 {
+		t.Errorf("milc: IndepStore share %.2f, expected dominant", indep)
+	}
+}
+
+func TestSignatureDMDPNeverFarBehindNoSQ(t *testing.T) {
+	// The paper's headline: DMDP outperforms NoSQ on every benchmark. At
+	// small budgets we allow a small tolerance for warm-up noise.
+	for _, name := range Names() {
+		nosq := runBench(t, name, config.NoSQ, 60_000)
+		dmdp := runBench(t, name, config.DMDP, 60_000)
+		if dmdp.IPC() < nosq.IPC()*0.95 {
+			t.Errorf("%s: DMDP %.3f more than 5%% behind NoSQ %.3f",
+				name, dmdp.IPC(), nosq.IPC())
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package workload
+
+// Class separates the Integer and Float suites (the paper reports
+// separate geometric means).
+type Class int
+
+// Suite classes.
+const (
+	Int Class = iota
+	Float
+)
+
+func (c Class) String() string {
+	if c == Float {
+		return "FP"
+	}
+	return "Int"
+}
+
+// Spec describes one SPEC CPU2006 proxy benchmark.
+type Spec struct {
+	Name      string
+	Class     Class
+	Seed      int64
+	Signature string // the paper behaviour this proxy reproduces
+	emit      func(b *builder)
+}
+
+// specs lists the 21 benchmarks of the paper's evaluation (§V), in paper
+// order: 10 Integer then 11 Float.
+var specs = []Spec{
+	{
+		Name: "perl", Class: Int, Seed: 101,
+		Signature: "branchy interpreter: stack spills (AC), moderate OC, data-dependent branches",
+		emit: func(b *builder) {
+			b.stack(4, 32, 4)
+			b.branchyStoreLoad(16, 4)
+			b.ocPointer(96, 256, 0.45, 0, 16, 6, false)
+			b.compute(24)
+		},
+	},
+	{
+		Name: "bzip2", Class: Int, Seed: 102,
+		Signature: "Fig. 13: halfword pointer table with duplicates at varying gaps -> unstable distances; DMDP gains big but has more MPKI than NoSQ",
+		emit: func(b *builder) {
+			b.ocPointer(12, 512, 0.5, 0.16, 12, 10, true)
+			b.stream(32<<10, 64, 8, 3, false)
+			b.compute(16)
+		},
+	},
+	{
+		Name: "gcc", Class: Int, Seed: 103,
+		Signature: ">10% delayed loads: hashed symbol updates + path-dependent distances",
+		emit: func(b *builder) {
+			b.hashRMW(1024, 24, 6)
+			b.branchyStoreLoad(12, 6)
+			b.ocPointer(128, 256, 0.45, 0.02, 12, 8, false)
+			b.stack(3, 20, 2)
+		},
+	},
+	{
+		Name: "mcf", Class: Int, Seed: 104,
+		Signature: "pointer chasing with miss-dependent colliding stores: bypassing is slower than delaying (paper §II)",
+		emit: func(b *builder) {
+			b.linkedRMW(1<<15, 24)
+			b.linked(1<<15, 24)
+			b.ocPointer(96, 128, 0.45, 0, 12, 6, false)
+		},
+	},
+	{
+		Name: "gobmk", Class: Int, Seed: 105,
+		Signature: "branch-heavy game tree with board updates",
+		emit: func(b *builder) {
+			b.branchyStoreLoad(16, 8)
+			b.stack(5, 24, 3)
+			b.hashRMW(2048, 12, 6)
+			b.compute(20)
+		},
+	},
+	{
+		Name: "hmmer", Class: Int, Seed: 106,
+		Signature: "silent stores with jittering distances: the silent-store-aware update policy backfires for NoSQ (3.06 MPKI, -20% vs baseline); DMDP recovers most of it",
+		emit: func(b *builder) {
+			b.silentVar(32, 6)
+			b.ocPointer(16, 256, 0.45, 0.15, 16, 8, false)
+			b.stream(16<<10, 32, 8, 3, false)
+		},
+	},
+	{
+		Name: "sjeng", Class: Int, Seed: 107,
+		Signature: "chess search: branches + stack frames + transposition table",
+		emit: func(b *builder) {
+			b.branchyStoreLoad(12, 6)
+			b.stack(6, 28, 4)
+			b.hashRMW(2048, 10, 6)
+			b.compute(16)
+		},
+	},
+	{
+		Name: "lib", Class: Int, Seed: 108,
+		Signature: "libquantum: long streaming sweeps, very few low-confidence loads, latency-bound",
+		emit: func(b *builder) {
+			b.stream(2<<20, 96, 8, 3, true)
+			b.compute(10)
+		},
+	},
+	{
+		Name: "h264ref", Class: Int, Seed: 109,
+		Signature: ">10% delayed loads: partial-word pixel updates + reference-frame streaming",
+		emit: func(b *builder) {
+			b.ocPointer(64, 384, 0.45, 0.03, 12, 8, true)
+			b.stream(256<<10, 64, 8, 3, false)
+			b.stack(3, 16, 2)
+		},
+	},
+	{
+		Name: "astar", Class: Int, Seed: 110,
+		Signature: ">10% delayed loads: open-list pointer updates + graph chasing",
+		emit: func(b *builder) {
+			b.ocPointer(128, 384, 0.45, 0, 16, 6, false)
+			b.linked(1<<13, 16)
+			b.branchyStoreLoad(8, 6)
+		},
+	},
+
+	{
+		Name: "bwaves", Class: Float, Seed: 201,
+		Signature: "blast-wave solver: wide FP streaming",
+		emit: func(b *builder) {
+			b.fpStream(4<<20, 64, 8, 0)
+			b.compute(10)
+		},
+	},
+	{
+		Name: "milc", Class: Float, Seed: 202,
+		Signature: "lattice QCD: hashed site updates -> IndepStore-dominated low-confidence loads (naive misprediction 23.5%)",
+		emit: func(b *builder) {
+			b.hashRMW(4096, 32, 8)
+			b.fpStream(1<<20, 32, 8, 0)
+		},
+	},
+	{
+		Name: "zeusmp", Class: Float, Seed: 203,
+		Signature: "astrophysical CFD: FP streaming + stable stack traffic",
+		emit: func(b *builder) {
+			b.fpStream(1<<20, 48, 8, 0)
+			b.stack(4, 24, 3)
+		},
+	},
+	{
+		Name: "gromacs", Class: Float, Seed: 204,
+		Signature: "molecular dynamics: stable OC neighbour updates -> DMDP cuts load time 32.1->11.4 cycles",
+		emit: func(b *builder) {
+			b.ocPointer(256, 384, 0.48, 0, 16, 5, false)
+			b.fpStream(64<<10, 48, 8, 0)
+		},
+	},
+	{
+		Name: "leslie3d", Class: Float, Seed: 205,
+		Signature: "turbulence CFD: FP streaming, large footprint",
+		emit: func(b *builder) {
+			b.fpStream(2<<20, 64, 8, 0)
+		},
+	},
+	{
+		Name: "namd", Class: Float, Seed: 206,
+		Signature: "molecular dynamics kernel: compute-bound, modest memory traffic",
+		emit: func(b *builder) {
+			b.compute(48)
+			b.fpStream(128<<10, 16, 8, 8)
+		},
+	},
+	{
+		Name: "Gems", Class: Float, Seed: 207,
+		Signature: "GemsFDTD: field updates streaming + scattered accumulations",
+		emit: func(b *builder) {
+			b.fpStream(2<<20, 48, 8, 0)
+			b.hashRMW(1024, 12, 6)
+		},
+	},
+	{
+		Name: "tonto", Class: Float, Seed: 208,
+		Signature: "quantum chemistry: stack-managed temporaries + stable OC -> cloaking-friendly",
+		emit: func(b *builder) {
+			b.stack(5, 24, 4)
+			b.ocPointer(128, 256, 0.95, 0, 32, 5, false)
+			b.fpStream(128<<10, 16, 8, 8)
+		},
+	},
+	{
+		Name: "lbm", Class: Float, Seed: 209,
+		Signature: "lattice Boltzmann: write-heavy streaming, store-miss-bound -> most re-execution stalls (Table VII) and biggest store-buffer sensitivity (Fig. 14); naive misprediction 28.6%",
+		emit: func(b *builder) {
+			b.splitFPStream(3<<20, 64, 16)
+			b.hashRMW(8192, 10, 4)
+		},
+	},
+	{
+		Name: "wrf", Class: Float, Seed: 210,
+		Signature: "weather model: low-confidence loads on the serial critical path -> NoSQ below baseline, DMDP +34.1% over NoSQ (§VI-c)",
+		emit: func(b *builder) {
+			b.wrfChain(40, 64, 3)
+			b.fpStream(64<<10, 12, 8, 0)
+		},
+	},
+	{
+		Name: "sphinx3", Class: Float, Seed: 211,
+		Signature: "speech recognition: FP streaming + hashed scoring, small DMDP deltas",
+		emit: func(b *builder) {
+			b.fpStream(1<<20, 40, 8, 0)
+			b.hashRMW(2048, 16, 6)
+			b.branchyStoreLoad(8, 4)
+		},
+	},
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"dmdp/internal/asm"
+	"dmdp/internal/emu"
+	"dmdp/internal/isa"
+	"dmdp/internal/trace"
+)
+
+// Names returns the benchmark names in paper order (Integer suite first).
+func Names() []string {
+	out := make([]string, len(specs))
+	for i := range specs {
+		out[i] = specs[i].Name
+	}
+	return out
+}
+
+// IntNames returns the Integer suite.
+func IntNames() []string { return byClass(Int) }
+
+// FloatNames returns the Float suite.
+func FloatNames() []string { return byClass(Float) }
+
+func byClass(c Class) []string {
+	var out []string
+	for i := range specs {
+		if specs[i].Class == c {
+			out = append(out, specs[i].Name)
+		}
+	}
+	return out
+}
+
+// Get returns the spec for a benchmark name.
+func Get(name string) (*Spec, bool) {
+	for i := range specs {
+		if specs[i].Name == name {
+			return &specs[i], true
+		}
+	}
+	return nil, false
+}
+
+// All returns every spec in paper order.
+func All() []*Spec {
+	out := make([]*Spec, len(specs))
+	for i := range specs {
+		out[i] = &specs[i]
+	}
+	return out
+}
+
+// Source generates the proxy's assembly program. The kernel blocks run
+// inside an effectively unbounded outer loop; the simulation instruction
+// budget bounds execution.
+func (s *Spec) Source() string {
+	b := newBuilder(s.Seed)
+	s.emit(b) // fills text/data/init
+
+	var hdr strings.Builder
+	fmt.Fprintf(&hdr, "# %s proxy (%s suite)\n", s.Name, s.Class)
+	fmt.Fprintf(&hdr, "# signature: %s\n", s.Signature)
+	hdr.WriteString("\t.text\n")
+	hdr.WriteString("main:\n")
+	fmt.Fprintf(&hdr, "\tli $s6, %d\n", 12345+s.Seed) // LCG state
+	hdr.WriteString(b.init.String())                  // cursor registers
+	hdr.WriteString("\tli $s7, 100000000\n")          // outer iterations (budget-bounded)
+	hdr.WriteString("outer:\n")
+	var src strings.Builder
+	src.WriteString(hdr.String())
+	src.WriteString(b.text.String())
+	src.WriteString("\taddi $s7, $s7, -1\n")
+	src.WriteString("\tbnez $s7, outer\n")
+	src.WriteString("\thalt\n")
+	src.WriteString("\t.data\n")
+	src.WriteString(b.data.String())
+	return src.String()
+}
+
+// Program assembles the proxy.
+func (s *Spec) Program() (*isa.Program, error) {
+	p, err := asm.Assemble(s.Source())
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	return p, nil
+}
+
+// BuildTrace assembles, emulates and analyzes the proxy for at most
+// maxInstr instructions.
+func (s *Spec) BuildTrace(maxInstr int64) (*trace.Trace, error) {
+	p, err := s.Program()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := emu.Run(p, maxInstr)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	return tr, nil
+}
