@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,9 @@ func main() {
 		list      = flag.Bool("list", false, "list proxy benchmarks and exit")
 		pipeview  = flag.Int("pipeview", 0, "render a pipeline view of the first N retired instructions")
 		src       = flag.Bool("source", false, "print the benchmark's generated assembly and exit")
+		maxCycles = flag.Int64("maxcycles", 0, "abort with a diagnostic after N simulated cycles (0 = unlimited)")
+		flipRate  = flag.Float64("flip", 0, "inject dependence-prediction flips at this rate (hardening demo)")
+		faultSeed = flag.Int64("faultseed", 1, "fault injector seed (with -flip)")
 	)
 	flag.Parse()
 
@@ -59,6 +63,12 @@ func main() {
 	}
 	if *rmo {
 		cfg = cfg.WithConsistency(dmdp.RMO)
+	}
+	if *maxCycles != 0 { // negative values reach Validate and are rejected there
+		cfg = cfg.WithWatchdog(*maxCycles, 0)
+	}
+	if *flipRate != 0 {
+		cfg = cfg.WithFaults(dmdp.FaultConfig{Seed: *faultSeed, PredictionFlipRate: *flipRate})
 	}
 
 	if *src {
@@ -150,9 +160,23 @@ func printStats(model dmdp.Model, st *dmdp.Stats) {
 	fmt.Printf("L1 miss rate       %.1f%%\n", 100*st.L1MissRate)
 	fmt.Printf("energy             %.1f uJ (EPI %.1f pJ)\n", e.TotalPJ/1e6, e.EPI)
 	fmt.Printf("EDP                %.3e pJ*cyc\n", e.EDP)
+	fmt.Printf("oracle checks      %d\n", st.OracleChecks)
+	if st.Faults.Total() > 0 {
+		fmt.Printf("injected faults    %d (flips %d, lowconf %d, predicate %d, inval %d, value %d)\n",
+			st.Faults.Total(), st.Faults.PredictionFlips, st.Faults.ForcedLowConf,
+			st.Faults.PredicateCorruptions, st.Faults.LineInvalidations, st.Faults.ValueCorruptions)
+	}
 }
 
+// fatal prints the error — the full diagnostic bundle when the
+// simulation died on a structured SimError — and exits non-zero.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dmdpsim:", err)
+	var se *dmdp.SimError
+	if errors.As(err, &se) {
+		fmt.Fprintln(os.Stderr, "dmdpsim: simulation failed")
+		fmt.Fprintln(os.Stderr, se.Bundle())
+	} else {
+		fmt.Fprintln(os.Stderr, "dmdpsim:", err)
+	}
 	os.Exit(1)
 }

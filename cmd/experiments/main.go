@@ -64,11 +64,17 @@ func main() {
 	if err := r.Prefetch(); err != nil {
 		fatal(err)
 	}
+	// One broken experiment (or benchmark) must not sink the rest of the
+	// suite: failed experiments are counted, failed benchmark runs are
+	// collected by the runner, and everything else still renders.
+	brokenExperiments := 0
 	for _, e := range selected {
 		t0 := time.Now()
 		out, err := e.Run(r)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v (continuing)\n", e.ID, err)
+			brokenExperiments++
+			continue
 		}
 		fmt.Printf("==== %s — %s (%.1fs) ====\n", e.ID, e.Title, time.Since(t0).Seconds())
 		fmt.Println(out)
@@ -84,6 +90,14 @@ func main() {
 	}
 	fmt.Printf("total: %.1fs, budget %d instructions x %d benchmarks\n",
 		time.Since(start).Seconds(), budget, len(r.Benchmarks()))
+	if table := r.FailureTable(); table != "" {
+		fmt.Println()
+		fmt.Println("==== failed benchmark runs ====")
+		fmt.Println(table)
+	}
+	if brokenExperiments > 0 || len(r.Failures()) > 0 {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

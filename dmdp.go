@@ -23,6 +23,7 @@ import (
 	"dmdp/internal/config"
 	"dmdp/internal/core"
 	"dmdp/internal/emu"
+	"dmdp/internal/faults"
 	"dmdp/internal/isa"
 	"dmdp/internal/power"
 	"dmdp/internal/sampling"
@@ -138,6 +139,25 @@ func RunSource(cfg Config, src string, maxInstr int64) (*Stats, error) {
 
 // Energy evaluates the reference power model over a run's statistics.
 func Energy(st *Stats) EnergyResult { return power.Compute(st, power.DefaultParams()) }
+
+// SimError is the structured failure a hardened run returns: a
+// commit-time oracle divergence, a tripped watchdog, a trace desync or a
+// register refcount underflow, with the cycle, PC, disassembly, the last
+// retired instructions and a pipeline occupancy snapshot. Extract it
+// with errors.As and render the full diagnostic with its Bundle method.
+type SimError = core.SimError
+
+// FaultConfig configures the deterministic fault injector (set it on
+// Config.Faults or via Config.WithFaults; the zero value disables
+// injection).
+type FaultConfig = faults.Config
+
+// FaultCounts reports injected faults by class (Stats.Faults).
+type FaultCounts = faults.Counts
+
+// WatchdogConfig bounds a run's total cycles and no-retire window
+// (Config.Watchdog or Config.WithWatchdog).
+type WatchdogConfig = config.Watchdog
 
 // PipeTracer records per-instruction pipeline stage timings.
 type PipeTracer = core.PipeTracer

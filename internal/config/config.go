@@ -8,9 +8,26 @@ package config
 import (
 	"dmdp/internal/bpred"
 	"dmdp/internal/cache"
+	"dmdp/internal/faults"
 	"dmdp/internal/memdep"
 	"dmdp/internal/tlb"
 )
+
+// DefaultNoRetireWindow is the watchdog's default deadlock threshold:
+// consecutive cycles without a retirement before the core aborts with a
+// diagnostic bundle.
+const DefaultNoRetireWindow = 400_000
+
+// Watchdog bounds a simulation run. A tripped watchdog aborts the run
+// with a structured core.SimError carrying the pipeline state.
+type Watchdog struct {
+	// MaxCycles caps the total simulated cycles (0 = unlimited).
+	MaxCycles int64
+	// NoRetireWindow is the number of consecutive cycles without a
+	// retirement before the core declares a deadlock (0 = the
+	// DefaultNoRetireWindow).
+	NoRetireWindow int64
+}
 
 // Model selects the store-load communication mechanism.
 type Model int
@@ -139,6 +156,14 @@ type Config struct {
 	// compensate with 100M-instruction intervals (§V); explicit warmup
 	// is the standard alternative for short intervals.
 	WarmupInstructions int64
+
+	// Watchdog bounds runaway simulations (cycle budget + no-retire
+	// deadlock window); see the Watchdog type.
+	Watchdog Watchdog
+
+	// Faults configures the deterministic fault injector used by the
+	// hardening tests (zero value = injection disabled).
+	Faults faults.Config
 }
 
 // Default returns the 8-wide baseline machine configuration for the given
@@ -179,7 +204,22 @@ func Default(model Model) Config {
 
 		DistBits:               6,
 		SilentStoreAwareUpdate: true,
+
+		Watchdog: Watchdog{NoRetireWindow: DefaultNoRetireWindow},
 	}
+}
+
+// WithWatchdog returns a copy with the watchdog bounds set (0 keeps a
+// field at its unlimited/default behaviour).
+func (c Config) WithWatchdog(maxCycles, noRetireWindow int64) Config {
+	c.Watchdog = Watchdog{MaxCycles: maxCycles, NoRetireWindow: noRetireWindow}
+	return c
+}
+
+// WithFaults returns a copy with the fault injector configured.
+func (c Config) WithFaults(f faults.Config) Config {
+	c.Faults = f
+	return c
 }
 
 // WithSilentStorePolicy returns a copy with the silent-store-aware
@@ -277,6 +317,8 @@ func (c *Config) Validate() error {
 		{c.StoreBufferSize > 0, "store buffer must have at least one entry"},
 		{c.LoadPorts > 0, "need at least one load port"},
 		{c.DistBits > 0 && c.DistBits < 32, "DistBits out of range"},
+		{c.Watchdog.MaxCycles >= 0 && c.Watchdog.NoRetireWindow >= 0, "watchdog bounds must be non-negative"},
+		{c.Faults.Valid(), "fault injection rates must be probabilities in [0, 1]"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {

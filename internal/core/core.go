@@ -6,6 +6,7 @@ import (
 	"dmdp/internal/bpred"
 	"dmdp/internal/cache"
 	"dmdp/internal/config"
+	"dmdp/internal/faults"
 	"dmdp/internal/isa"
 	"dmdp/internal/mem"
 	"dmdp/internal/memdep"
@@ -103,7 +104,18 @@ type Core struct {
 	divBusyUntil   int64
 	fpDivBusyUntil int64
 	done           bool
-	valueErr       error
+
+	// Hardening layer: the first structured failure (oracle divergence,
+	// watchdog expiry, desync, refcount underflow), the diagnostic ring
+	// of recently retired instructions, and the fault injector (nil when
+	// injection is disabled).
+	simErr    *SimError
+	retireLog [retireLogCap]RetireRecord
+	inj       *faults.Injector
+
+	// trackInval: record recently written lines for invalidation
+	// injection (periodic or fault-injected).
+	trackInval bool
 
 	// Remote-invalidation injection state (paper §IV-F).
 	recentLines []uint32
@@ -159,6 +171,10 @@ func New(cfg config.Config, tr *trace.Trace) (*Core, error) {
 		c.sft = memdep.NewSFT(memdep.DefaultFnFConfig())
 		c.pendingFwd = make(map[int64]int64)
 	}
+	if cfg.Faults.Enabled() {
+		c.inj = faults.NewInjector(cfg.Faults)
+	}
+	c.trackInval = cfg.InvalidationInterval > 0 || (c.inj != nil && c.inj.WantsInvalidations())
 	return c, nil
 }
 
@@ -167,8 +183,16 @@ func (c *Core) Run() (*Stats, error) {
 	if len(c.tr.Entries) == 0 {
 		return &c.stats, nil
 	}
+	window := c.cfg.Watchdog.NoRetireWindow
+	if window <= 0 {
+		window = config.DefaultNoRetireWindow
+	}
+	maxCycles := c.cfg.Watchdog.MaxCycles
 	for !c.done {
 		c.now++
+		if c.inj != nil && c.inj.InvalidateLine() {
+			c.injectInvalidation()
+		}
 		if c.cfg.InvalidationInterval > 0 && c.now%c.cfg.InvalidationInterval == 0 {
 			c.injectInvalidation()
 		}
@@ -179,20 +203,20 @@ func (c *Core) Run() (*Stats, error) {
 		c.rename()
 		c.fetch()
 
-		if c.now-c.lastRetireAt > 400000 {
-			head := "empty"
-			if !c.rob.empty() {
-				h := c.rob.front()
-				head = fmt.Sprintf("idx=%d %s pending=%d", h.idx, h.e.Instr, h.pending)
-			}
-			return nil, fmt.Errorf("core: no retirement for 400k cycles at cycle %d (retired %d/%d, model %s): deadlock; rob=%d head={%s} iq=%d ready=%d delayed=%d sb=%d free=%d fq=%d fetchIdx=%d stalled=%v",
-				c.now, c.retired, len(c.tr.Entries), c.cfg.Model,
-				c.rob.len(), head, c.iqCount, c.ready.Len(), len(c.delayed),
-				c.sb.len(), c.rf.freeCount(), len(c.fq), c.fetchIdx, c.fetchStalled)
+		if maxCycles > 0 && c.now >= maxCycles {
+			c.fail(&SimError{Kind: ErrWatchdog, Idx: -1,
+				Msg: fmt.Sprintf("cycle budget %d exhausted (retired %d/%d)", maxCycles, c.retired, len(c.tr.Entries))})
+		}
+		if c.now-c.lastRetireAt > window {
+			c.fail(&SimError{Kind: ErrWatchdog, Idx: -1,
+				Msg: fmt.Sprintf("no retirement for %d cycles: deadlock (retired %d/%d)", window, c.retired, len(c.tr.Entries))})
 		}
 	}
-	if c.valueErr != nil {
-		return nil, c.valueErr
+	if c.simErr != nil {
+		return nil, c.simErr
+	}
+	if c.inj != nil {
+		c.stats.Faults = c.inj.Counts
 	}
 	c.stats.Cycles = c.now - c.cycleBase
 	c.stats.L1MissRate = c.hier.L1D.MissRate()
@@ -228,7 +252,7 @@ func (c *Core) injectInvalidation() {
 	c.invalPick++
 	c.hier.Invalidate(line)
 	if c.cfg.Model != config.Baseline {
-		c.tssbf.InvalidateLine(line, c.hier.LineBytes(), c.ssn.Commit+1)
+		c.tssbf.InvalidateLine(line, c.hier.LineBytes())
 		c.stats.TSSBFWrites += int64(c.hier.LineBytes() / 4)
 	}
 	c.stats.Invalidations++
@@ -333,7 +357,7 @@ func (c *Core) commitStores() {
 func (c *Core) finishCommit(i int) {
 	e := c.sb.entries[i]
 	c.image.Write(e.addr, e.size, e.value)
-	if c.cfg.InvalidationInterval > 0 {
+	if c.trackInval {
 		line := e.addr &^ uint32(c.hier.LineBytes()-1)
 		if len(c.recentLines) < 8 {
 			c.recentLines = append(c.recentLines, line)
@@ -343,6 +367,7 @@ func (c *Core) finishCommit(i int) {
 	}
 	c.rf.dropConsumer(e.dataPhys)
 	c.rf.dropConsumer(e.addrPhys)
+	c.checkRefs(e.idx)
 	c.srb.remove(e.ssn)
 	c.sb.entries = append(c.sb.entries[:i], c.sb.entries[i+1:]...)
 	c.stats.StoresCommitted++
@@ -383,7 +408,7 @@ func (c *Core) wakeDelayed() {
 // ---------- events / writeback ----------
 
 func (c *Core) handleEvents() {
-	for {
+	for c.simErr == nil {
 		u := c.events.popDue(c.now)
 		if u == nil {
 			return
@@ -613,7 +638,7 @@ func (c *Core) spaceFor() bool {
 
 func (c *Core) rename() {
 	for n := 0; n < c.cfg.RenameWidth; n++ {
-		if len(c.fq) == 0 {
+		if len(c.fq) == 0 || c.simErr != nil {
 			return
 		}
 		fe := c.fq[0]
@@ -866,13 +891,20 @@ func (c *Core) retireCommon(in *inst) {
 
 	c.retired++
 	c.lastRetireAt = c.now
+	c.recordRetire(in)
+	// Commit-time oracle: the verification machinery must never let a
+	// wrong architectural effect retire.
+	c.oracleRetireCheck(in)
+	c.checkRefs(in.idx)
 	if c.tracer != nil {
 		c.tracer.onRetire(in, c.now)
 	}
 	if c.cfg.WarmupInstructions > 0 && c.retired == c.cfg.WarmupInstructions {
 		// End of warmup: structures stay warm, counters restart. The
 		// boundary instruction itself is not measured.
+		oracleChecks := c.stats.OracleChecks
 		c.stats = Stats{}
+		c.stats.OracleChecks = oracleChecks // soundness coverage is not a warmup metric
 		c.cycleBase = c.now
 		c.warmL1A, c.warmL1M = c.hier.L1D.Accesses, c.hier.L1D.Misses
 		if in.isLoad() {
@@ -888,12 +920,6 @@ func (c *Core) retireCommon(in *inst) {
 
 		if in.isLoad() {
 			c.lsnRetire++
-			if in.gotValue != in.e.Value && c.valueErr == nil {
-				// Soundness invariant: the verification machinery must
-				// never let a wrong-valued load retire.
-				c.valueErr = fmt.Errorf("core: load at trace idx %d (pc 0x%x, %s) retired value 0x%x, want 0x%x (cat %s, model %s)",
-					in.idx, in.e.PC, in.e.Instr, in.gotValue, in.e.Value, in.cat, c.cfg.Model)
-			}
 			c.accountLoad(in)
 		}
 	}

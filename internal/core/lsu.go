@@ -33,7 +33,10 @@ func (c *Core) renameStore(in *inst) {
 	c.ssn.Rename++
 	in.ssn = c.ssn.Rename
 	if in.ssn != e.StoreSeq {
-		panic(fmt.Sprintf("core: SSN desync: renamed store got %d, trace says %d", in.ssn, e.StoreSeq))
+		c.fail(&SimError{
+			Kind: ErrDesync, Idx: in.idx, PC: e.PC, Disasm: e.Instr.String(),
+			Msg: fmt.Sprintf("SSN desync: renamed store got %d, trace says %d", in.ssn, e.StoreSeq),
+		})
 	}
 	c.srb.add(&srbEntry{ssn: in.ssn, idx: in.idx, dataPhys: in.dataPhys, addrPhys: in.addrPhys, inst: in})
 	c.instBySeq[in.seq] = in
@@ -121,6 +124,17 @@ func (c *Core) renameLoadSQFree(in *inst) {
 	d := e.Instr.Dest()
 	pred, hit := c.sdp.Predict(e.PC, in.histAtRen)
 	c.stats.SDPReads++
+	if c.inj != nil && hit {
+		// Benign faults: a perturbed distance targets the wrong store and
+		// a demoted confidence forces the delay/predication path; the
+		// SVW verification must absorb both.
+		if c.inj.FlipPrediction() {
+			pred.Dist++
+		}
+		if pred.Confident && c.inj.ForceLowConf() {
+			pred.Confident = false
+		}
+	}
 	in.predHit = hit
 
 	var se *srbEntry
@@ -355,15 +369,25 @@ func (c *Core) completeCMP(u *uop) {
 	in := u.inst
 	st := &c.tr.Entries[in.predIdx]
 	in.predicate = st.WordAddr() == in.e.WordAddr() && st.BAB()&in.e.BAB() == in.e.BAB()
+	if c.inj != nil && c.inj.CorruptPredicate() {
+		// Benign fault: the wrong CMOV arm publishes; retire-time
+		// verification (or, failing that, the oracle) must catch it.
+		in.predicate = !in.predicate
+	}
 	in.predicateDone = true
 	c.rf.dropConsumer(in.predAddrPhys)
+	c.checkRefs(in.idx)
 	c.writeback(u.dst)
 }
 
 func (c *Core) completeCMOV(u *uop) {
 	in := u.inst
 	if !in.predicateDone {
-		panic("core: CMOV executed before its predicate")
+		c.fail(&SimError{
+			Kind: ErrDesync, Idx: in.idx, PC: in.e.PC, Disasm: in.e.Instr.String(),
+			Msg: "CMOV executed before its predicate",
+		})
+		return
 	}
 	if u.cmovSel {
 		c.rf.dropConsumer(in.predDataPhys)
@@ -374,6 +398,7 @@ func (c *Core) completeCMOV(u *uop) {
 		// shared destination evaporates (producer counter decrement,
 		// paper §IV-B), otherwise the register would leak.
 		c.rf.dropProducer(u.dst)
+		c.checkRefs(in.idx)
 		return
 	}
 	if in.predicate {

@@ -21,6 +21,14 @@ type physReg struct {
 	free      bool
 }
 
+// refErr records a reference-count underflow observed by maybeFree; the
+// core surfaces it as a structured SimError attributed to the
+// instruction whose release triggered it (see Core.checkRefs).
+type refErr struct {
+	p                    int
+	producers, consumers int
+}
+
 // regFile is the physical register file plus the speculative and
 // architectural rename tables and the free list.
 type regFile struct {
@@ -31,6 +39,10 @@ type regFile struct {
 
 	// waiters maps a physical register to the uops stalled on it.
 	waiters [][]*uop
+
+	// badRef holds the first refcount underflow until the core collects
+	// it (nil when the counters are consistent).
+	badRef *refErr
 }
 
 func newRegFile(n int) *regFile {
@@ -87,7 +99,12 @@ func (rf *regFile) dropProducer(p int) {
 func (rf *regFile) maybeFree(p int) {
 	r := &rf.regs[p]
 	if r.producers < 0 || r.consumers < 0 {
-		panic(fmt.Sprintf("core: negative refcount on p%d (%d/%d)", p, r.producers, r.consumers))
+		// Record the underflow (first wins) instead of panicking; the
+		// register is left un-freed so the state stays inspectable.
+		if rf.badRef == nil {
+			rf.badRef = &refErr{p: p, producers: r.producers, consumers: r.consumers}
+		}
+		return
 	}
 	if r.producers == 0 && r.consumers == 0 && !r.free {
 		r.free = true
@@ -148,6 +165,9 @@ func (rf *regFile) resetToARAT(sbRefs []int) {
 // checkInvariants panics when reference counting is inconsistent (used by
 // tests via Core.CheckInvariants).
 func (rf *regFile) checkInvariants() error {
+	if b := rf.badRef; b != nil {
+		return fmt.Errorf("core: negative refcount on p%d (%d/%d)", b.p, b.producers, b.consumers)
+	}
 	seen := make(map[int]bool, len(rf.freeList))
 	for _, p := range rf.freeList {
 		if seen[p] {

@@ -14,6 +14,8 @@
 // the pipeline at retire and refetch, like the machine in the paper.
 package core
 
+import "dmdp/internal/faults"
+
 // LoadCategory classifies how a load obtained its value (paper Fig. 2).
 type LoadCategory uint8
 
@@ -118,6 +120,10 @@ type Stats struct {
 
 	// Cache behaviour.
 	L1MissRate, L2MissRate float64
+
+	// Hardening layer.
+	OracleChecks int64         // commit-time oracle comparisons performed
+	Faults       faults.Counts // injected faults by class (zero when disabled)
 }
 
 // latencyBuckets spans latencies up to 2^23 cycles.

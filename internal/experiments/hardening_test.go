@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dmdp/internal/config"
+	"dmdp/internal/core"
+	"dmdp/internal/faults"
+)
+
+// poisonedRunner runs hmmer's default DMDP label with value corruption
+// enabled, so the run fails and is negatively cached under "hmmer/dmdp" —
+// every later experiment asking for that run sees the cached failure.
+func poisonedRunner(t *testing.T) *Runner {
+	t.Helper()
+	r := NewRunner(Options{
+		Budget:     4000,
+		Benchmarks: []string{"hmmer", "bzip2"},
+		Parallel:   false,
+	})
+	cfg := config.Default(config.DMDP).WithFaults(faults.Config{Seed: 5, ValueCorruptRate: 0.01})
+	if _, err := r.Run("hmmer", cfg, "dmdp"); err == nil {
+		t.Fatal("poisoned run unexpectedly succeeded")
+	}
+	return r
+}
+
+// hasRow reports whether a table has a data row for the benchmark.
+func hasRow(table, bench string) bool {
+	for _, line := range strings.Split(table, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), bench) {
+			return true
+		}
+	}
+	return false
+}
+
+// One corrupted benchmark must not sink the suite: its rows drop out,
+// the other benchmarks still render, and the failure table names it.
+func TestExperimentsSurvivePoisonedBenchmark(t *testing.T) {
+	r := poisonedRunner(t)
+
+	out, err := TableVI(r)
+	if err != nil {
+		t.Fatalf("TableVI aborted instead of degrading: %v", err)
+	}
+	// The footnote quotes the paper's hmmer figures as static text, so
+	// look for a data row (line starting with the benchmark name).
+	if hasRow(out, "hmmer") {
+		t.Errorf("poisoned benchmark still has a row:\n%s", out)
+	}
+	if !hasRow(out, "bzip2") {
+		t.Errorf("healthy benchmark lost its row:\n%s", out)
+	}
+
+	fs := r.Failures()
+	if len(fs) != 1 {
+		t.Fatalf("%d failures recorded, want 1: %+v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Bench != "hmmer" || f.Label != "dmdp" {
+		t.Errorf("failure misattributed: %+v", f)
+	}
+	if !f.Retried {
+		t.Error("failed run was not retried before being declared failed")
+	}
+	var se *core.SimError
+	if !errors.As(f.Err, &se) || se.Kind != core.ErrOracle {
+		t.Errorf("failure does not carry the oracle SimError: %v", f.Err)
+	}
+	if f.Diagnostic == "" || !strings.Contains(f.Diagnostic, "last") {
+		t.Errorf("diagnostic bundle missing or truncated: %q", f.Diagnostic)
+	}
+
+	table := r.FailureTable()
+	for _, want := range []string{"hmmer", "dmdp", "oracle"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("failure table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// The negative cache must return the same failure without re-simulating
+// (and without consuming another retry) and must not duplicate the
+// failure record.
+func TestFailureNegativelyCached(t *testing.T) {
+	r := poisonedRunner(t)
+	_, err1 := r.RunModel("hmmer", config.DMDP)
+	_, err2 := r.RunModel("hmmer", config.DMDP)
+	if err1 == nil || err2 == nil {
+		t.Fatal("cached failure must keep failing")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("cached failure changed: %v vs %v", err1, err2)
+	}
+	if n := len(r.Failures()); n != 1 {
+		t.Fatalf("failure recorded %d times, want 1", n)
+	}
+}
+
+// Prefetch records failures instead of aborting the warm-up.
+func TestPrefetchTolerantOfFailures(t *testing.T) {
+	r := NewRunner(Options{
+		Budget:     4000,
+		Benchmarks: []string{"hmmer", "bzip2"},
+		Parallel:   true,
+	})
+	cfg := config.Default(config.DMDP).WithFaults(faults.Config{Seed: 5, ValueCorruptRate: 0.01})
+	if _, err := r.Run("hmmer", cfg, "dmdp"); err == nil {
+		t.Fatal("poisoned run unexpectedly succeeded")
+	}
+	if err := r.Prefetch(); err != nil {
+		t.Fatalf("prefetch aborted: %v", err)
+	}
+	if len(r.Failures()) != 1 {
+		t.Fatalf("failures after prefetch: %+v", r.Failures())
+	}
+	// The healthy benchmark's default runs are all warm and usable.
+	if _, err := r.RunModel("bzip2", config.DMDP); err != nil {
+		t.Fatalf("healthy benchmark unusable after prefetch: %v", err)
+	}
+}
+
+// A panicking simulation is converted into a recorded failure with a
+// trimmed stack, not a crashed suite.
+func TestPanicConvertedToFailure(t *testing.T) {
+	r := NewRunner(Options{
+		Budget:     4000,
+		Benchmarks: []string{"hmmer"},
+		Parallel:   false,
+	})
+	// An invalid configuration that slips past Validate: a zero-size
+	// T-SSBF makes the core's modulo indexing panic.
+	cfg := config.Default(config.DMDP)
+	cfg.TSSBF.Sets = 0
+	_, err := r.Run("hmmer", cfg, "dmdp-broken")
+	if err == nil {
+		t.Skip("configuration no longer panics; pick another panic source")
+	}
+	fs := r.Failures()
+	if len(fs) != 1 {
+		t.Fatalf("%d failures, want 1", len(fs))
+	}
+	if !fs[0].Panicked {
+		t.Errorf("panic not flagged: %+v", fs[0])
+	}
+	if !strings.Contains(fs[0].Err.Error(), "panic:") {
+		t.Errorf("error does not carry the panic: %v", fs[0].Err)
+	}
+}

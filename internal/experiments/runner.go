@@ -8,7 +8,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 
 	"dmdp/internal/config"
@@ -34,13 +36,23 @@ type Options struct {
 // DefaultOptions runs the full suite at 300k instructions per proxy.
 func DefaultOptions() Options { return Options{Budget: 300_000, Parallel: true} }
 
+// runResult caches one (benchmark, label) simulation outcome. Failures
+// are cached too (negative caching): a deterministic failure would fail
+// again, so experiments sharing the run all see the same error without
+// re-simulating — and without consuming the retry a second time.
+type runResult struct {
+	st  *core.Stats
+	err error
+}
+
 // Runner caches traces and simulation results across experiments.
 type Runner struct {
 	opt Options
 
-	mu      sync.Mutex
-	traces  map[string]*trace.Trace
-	results map[string]*core.Stats
+	mu       sync.Mutex
+	traces   map[string]*trace.Trace
+	results  map[string]runResult
+	failures []Failure
 }
 
 // NewRunner builds a runner.
@@ -54,7 +66,7 @@ func NewRunner(opt Options) *Runner {
 	return &Runner{
 		opt:     opt,
 		traces:  make(map[string]*trace.Trace),
-		results: make(map[string]*core.Stats),
+		results: make(map[string]runResult),
 	}
 }
 
@@ -97,30 +109,82 @@ func (r *Runner) Trace(name string) (*trace.Trace, error) {
 }
 
 // Run simulates the benchmark under cfg, caching by (benchmark, label).
+// A failed run (error or panic) is retried once with the pipeline tracer
+// attached; if it fails again the failure is cached and recorded (see
+// Failures) so the rest of the suite proceeds without it.
 func (r *Runner) Run(name string, cfg config.Config, label string) (*core.Stats, error) {
 	key := name + "/" + label
 	r.mu.Lock()
-	st, ok := r.results[key]
+	res, ok := r.results[key]
 	r.mu.Unlock()
 	if ok {
-		return st, nil
+		return res.st, res.err
 	}
 	tr, err := r.Trace(name)
 	if err != nil {
-		return nil, err
+		wrapped := fmt.Errorf("experiments: %s (%s): %w", name, label, err)
+		r.cacheResult(key, runResult{err: wrapped})
+		r.recordFailure(Failure{Bench: name, Label: label, Err: err})
+		return nil, wrapped
 	}
+	st, runErr, panicked := simulate(cfg, tr, false)
+	retried := false
+	if runErr != nil {
+		// Retry once, tracer attached: a transient failure recovers, a
+		// deterministic one is declared failed with diagnostics.
+		retried = true
+		st, runErr, panicked = simulate(cfg, tr, true)
+	}
+	if runErr != nil {
+		wrapped := fmt.Errorf("experiments: %s (%s): %w", name, label, runErr)
+		r.cacheResult(key, runResult{err: wrapped})
+		r.recordFailure(Failure{
+			Bench: name, Label: label, Err: runErr,
+			Panicked: panicked, Retried: retried,
+			Diagnostic: diagnosticFor(runErr),
+		})
+		return nil, wrapped
+	}
+	r.cacheResult(key, runResult{st: st})
+	return st, nil
+}
+
+func (r *Runner) cacheResult(key string, res runResult) {
+	r.mu.Lock()
+	r.results[key] = res
+	r.mu.Unlock()
+}
+
+// simulate builds a core and runs it to completion, converting panics
+// into errors so one corrupted benchmark cannot take down the suite.
+func simulate(cfg config.Config, tr *trace.Trace, withTracer bool) (st *core.Stats, err error, panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			st = nil
+			err = fmt.Errorf("panic: %v\n%s", rec, trimStack(debug.Stack()))
+			panicked = true
+		}
+	}()
 	c, err := core.New(cfg, tr)
 	if err != nil {
-		return nil, err
+		return nil, err, false
+	}
+	if withTracer {
+		c.AttachTracer(64)
 	}
 	st, err = c.Run()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s (%s): %w", name, label, err)
+	return st, err, false
+}
+
+// trimStack keeps the top frames of a panic stack — enough to locate the
+// fault without drowning the failure table.
+func trimStack(stack []byte) string {
+	lines := strings.Split(strings.TrimSpace(string(stack)), "\n")
+	const keep = 13 // goroutine header + 6 frames (2 lines each)
+	if len(lines) > keep {
+		lines = append(lines[:keep], "...")
 	}
-	r.mu.Lock()
-	r.results[key] = st
-	r.mu.Unlock()
-	return st, nil
+	return strings.Join(lines, "\n")
 }
 
 // RunModel simulates under the default configuration for a model.
@@ -129,7 +193,9 @@ func (r *Runner) RunModel(name string, m config.Model) (*core.Stats, error) {
 }
 
 // Prefetch warms the trace and default-model caches, in parallel when
-// configured. Results remain fully deterministic.
+// configured. Results remain fully deterministic. Individual failures do
+// not abort the warm-up: they are negatively cached and recorded (see
+// Failures), and the experiments that wanted those runs skip them.
 func (r *Runner) Prefetch() error {
 	if !r.opt.Parallel {
 		return nil
@@ -144,7 +210,6 @@ func (r *Runner) Prefetch() error {
 			jobs = append(jobs, job{b, m})
 		}
 	}
-	errs := make(chan error, len(jobs))
 	sem := make(chan struct{}, 8)
 	var wg sync.WaitGroup
 	for _, j := range jobs {
@@ -153,19 +218,11 @@ func (r *Runner) Prefetch() error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			_, err := r.RunModel(j.bench, j.model)
-			errs <- err
+			r.RunModel(j.bench, j.model)
 		}(j)
 	}
 	wg.Wait()
-	close(errs)
-	var firstErr error
-	for err := range errs {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return nil
 }
 
 // Energy evaluates the power model for a cached run.

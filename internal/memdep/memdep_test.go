@@ -105,10 +105,16 @@ func TestTSSBFLookupCovering(t *testing.T) {
 
 func TestTSSBFInvalidateLine(t *testing.T) {
 	f := NewTSSBF(DefaultTSSBFConfig())
-	f.InvalidateLine(0x2000, 16, 99)
+	f.InvalidateLine(0x2000, 16)
 	for off := uint32(0); off < 16; off += 4 {
-		if got := f.Lookup(0x2000+off, 0xf); got != 99 {
-			t.Fatalf("word 0x%x = %d, want 99", 0x2000+off, got)
+		got := f.Lookup(0x2000+off, 0xf)
+		if got != InvalidatedSSN {
+			t.Fatalf("word 0x%x = %d, want the InvalidatedSSN sentinel", 0x2000+off, got)
+		}
+		// The sentinel must trip both re-execution checks for every
+		// possible real SSN — that is the whole point of it.
+		if !NeedsReexecCacheSourced(got, 1<<40) || !NeedsReexecStoreSourced(got, 1<<40) {
+			t.Fatal("invalidated word did not force re-execution")
 		}
 	}
 }

@@ -7,6 +7,8 @@
 // baseline store-queue machine.
 package memdep
 
+import "math"
+
 // SSN tracks the three globally observable store sequence registers
 // (paper §IV): Rename is incremented when a store renames, Retire when it
 // leaves the ROB for the store buffer, Commit when it writes the cache.
@@ -122,12 +124,24 @@ func (t *TSSBF) LookupCovering(wordAddr uint32, bab uint8) (ssn int64, tagMatch,
 	return t.Lookup(wordAddr, bab), false, false
 }
 
+// InvalidatedSSN marks a filter entry written by a remote-core line
+// invalidation. It is strictly greater than any real store's SSN, so it
+// unconditionally fails BOTH re-execution checks: cache-sourced
+// (collidingSSN > ssnNvul) and store-sourced (collidingSSN != ssnByp).
+// No forward-looking real SSN has that property — the paper's commit+1
+// stamp (and even rename+1) can coincide with the SSN a later store
+// renames with; a load wrongly cloaked onto that store then sees
+// collidingSSN == ssnByp, skips its re-execution and retires a stale
+// forwarded value. Training paths ignore the sentinel: EntryBySeq
+// resolves it to no store and the distance computation goes negative.
+const InvalidatedSSN = math.MaxInt64
+
 // InvalidateLine implements the multi-core consistency hook (paper §IV-F):
 // when another core invalidates a cache line, every word of that line is
-// written into the filter with full byte-access bits and SSN commit+1, so
-// in-flight loads that already read those words re-execute.
-func (t *TSSBF) InvalidateLine(lineAddr uint32, lineBytes int, ssnCommitPlus1 int64) {
+// written into the filter with full byte-access bits and InvalidatedSSN,
+// so loads that touched those words re-execute unconditionally.
+func (t *TSSBF) InvalidateLine(lineAddr uint32, lineBytes int) {
 	for off := 0; off < lineBytes; off += 4 {
-		t.Insert(lineAddr+uint32(off), 0xf, ssnCommitPlus1)
+		t.Insert(lineAddr+uint32(off), 0xf, InvalidatedSSN)
 	}
 }
