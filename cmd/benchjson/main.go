@@ -1,0 +1,224 @@
+// Command benchjson converts `go test -bench . -benchmem` output into the
+// repo's BENCH_*.json format so benchmark baselines can be checked in and
+// diffed. With -baseline it embeds a second (older) run and computes
+// per-benchmark speedup and allocation-reduction summaries.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 5 | tee after.txt
+//	benchjson -out BENCH_0003.json -commit $(git rev-parse --short HEAD) \
+//	    -baseline before.txt -baseline-commit b64403c after.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// run is one `BenchmarkX  N  ns/op ...` line.
+type run struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// block is one full `go test -bench` invocation.
+type block struct {
+	Commit string           `json:"commit,omitempty"`
+	Goos   string           `json:"goos,omitempty"`
+	Goarch string           `json:"goarch,omitempty"`
+	Pkg    string           `json:"pkg,omitempty"`
+	CPU    string           `json:"cpu,omitempty"`
+	Runs   map[string][]run `json:"runs"`
+}
+
+// delta summarizes current vs baseline for one benchmark (means of the
+// -count repetitions).
+type delta struct {
+	Benchmark      string  `json:"benchmark"`
+	BaseNsPerOp    float64 `json:"baseline_ns_per_op"`
+	CurNsPerOp     float64 `json:"current_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+	BaseAllocs     float64 `json:"baseline_allocs_per_op"`
+	CurAllocs      float64 `json:"current_allocs_per_op"`
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+type report struct {
+	Note     string  `json:"note,omitempty"`
+	Date     string  `json:"date,omitempty"`
+	Count    string  `json:"count,omitempty"`
+	Baseline *block  `json:"baseline,omitempty"`
+	Current  block   `json:"current"`
+	Summary  []delta `json:"summary,omitempty"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "output file (default stdout)")
+		note       = flag.String("note", "", "free-form note stored in the report")
+		date       = flag.String("date", "", "run date stored in the report")
+		count      = flag.String("count", "", "-count used for the runs")
+		commit     = flag.String("commit", "", "commit of the current run")
+		basePath   = flag.String("baseline", "", "older -bench output to embed for comparison")
+		baseCommit = flag.String("baseline-commit", "", "commit of the baseline run")
+	)
+	flag.Parse()
+
+	cur, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur.Commit = *commit
+	rep := report{Note: *note, Date: *date, Count: *count, Current: *cur}
+
+	if *basePath != "" {
+		base, err := parseFile(*basePath)
+		if err != nil {
+			fatal(err)
+		}
+		base.Commit = *baseCommit
+		rep.Baseline = base
+		rep.Summary = summarize(base, cur)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseFile reads one `go test -bench` output (path "" or "-" = stdin).
+func parseFile(path string) (*block, error) {
+	var r io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	b := &block{Runs: map[string][]run{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			b.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			b.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			b.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			b.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, rn, err := parseBenchLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			b.Runs[name] = append(b.Runs[name], rn)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(b.Runs) == 0 {
+		return nil, fmt.Errorf("%s: no Benchmark lines found", path)
+	}
+	return b, nil
+}
+
+// parseBenchLine splits "BenchmarkX-8  10  123 ns/op  4 MB/s  5 B/op  6 allocs/op".
+func parseBenchLine(line string) (string, run, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return "", run{}, fmt.Errorf("too few fields")
+	}
+	name := strings.SplitN(f[0], "-", 2)[0] // strip GOMAXPROCS suffix
+	var rn run
+	var err error
+	if rn.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+		return "", run{}, err
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			rn.NsPerOp, err = strconv.ParseFloat(v, 64)
+		case "MB/s":
+			rn.MBPerS, err = strconv.ParseFloat(v, 64)
+		case "B/op":
+			rn.BytesPerOp, err = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			rn.AllocsPerOp, err = strconv.ParseInt(v, 10, 64)
+		}
+		if err != nil {
+			return "", run{}, err
+		}
+	}
+	return name, rn, nil
+}
+
+func summarize(base, cur *block) []delta {
+	var names []string
+	for n := range cur.Runs {
+		if _, ok := base.Runs[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	ds := make([]delta, 0, len(names))
+	for _, n := range names {
+		bNs, bAl := means(base.Runs[n])
+		cNs, cAl := means(cur.Runs[n])
+		d := delta{
+			Benchmark:   n,
+			BaseNsPerOp: round(bNs), CurNsPerOp: round(cNs),
+			BaseAllocs: round(bAl), CurAllocs: round(cAl),
+		}
+		if cNs > 0 {
+			d.Speedup = round(bNs / cNs)
+		}
+		if bAl > 0 {
+			d.AllocReduction = round(1 - cAl/bAl)
+		}
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+func means(rs []run) (ns, allocs float64) {
+	for _, r := range rs {
+		ns += r.NsPerOp
+		allocs += float64(r.AllocsPerOp)
+	}
+	n := float64(len(rs))
+	return ns / n, allocs / n
+}
+
+func round(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"dmdp"
+	"dmdp/internal/profiling"
 )
 
 func main() {
@@ -35,8 +36,20 @@ func main() {
 		maxCycles = flag.Int64("maxcycles", 0, "abort with a diagnostic after N simulated cycles (0 = unlimited)")
 		flipRate  = flag.Float64("flip", 0, "inject dependence-prediction flips at this rate (hardening demo)")
 		faultSeed = flag.Int64("faultseed", 1, "fault injector seed (with -flip)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmdpsim:", err)
+		}
+	}()
 
 	if *list {
 		fmt.Println("Integer:", strings.Join(dmdp.IntWorkloads(), " "))
@@ -161,6 +174,10 @@ func printStats(model dmdp.Model, st *dmdp.Stats) {
 	fmt.Printf("energy             %.1f uJ (EPI %.1f pJ)\n", e.TotalPJ/1e6, e.EPI)
 	fmt.Printf("EDP                %.3e pJ*cyc\n", e.EDP)
 	fmt.Printf("oracle checks      %d\n", st.OracleChecks)
+	if st.SimWallClockNS > 0 {
+		fmt.Printf("sim wall clock     %.3fs (%.0f instr/s host throughput)\n",
+			float64(st.SimWallClockNS)/1e9, st.SimIPS())
+	}
 	if st.Faults.Total() > 0 {
 		fmt.Printf("injected faults    %d (flips %d, lowconf %d, predicate %d, inval %d, value %d)\n",
 			st.Faults.Total(), st.Faults.PredictionFlips, st.Faults.ForcedLowConf,

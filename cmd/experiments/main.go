@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dmdp/internal/experiments"
+	"dmdp/internal/profiling"
 )
 
 func main() {
@@ -28,8 +29,15 @@ func main() {
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
 		serial   = flag.Bool("serial", false, "disable parallel simulation")
 		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *listFlag {
 		for _, e := range experiments.All() {
@@ -94,6 +102,11 @@ func main() {
 		fmt.Println()
 		fmt.Println("==== failed benchmark runs ====")
 		fmt.Println(table)
+	}
+	// Flush profiles before the explicit failure exit (os.Exit skips
+	// deferred calls).
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}
 	if brokenExperiments > 0 || len(r.Failures()) > 0 {
 		os.Exit(1)

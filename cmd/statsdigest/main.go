@@ -1,0 +1,78 @@
+// Command statsdigest prints a canonical per-(proxy, model) line of the
+// architectural and microarchitectural counters of every simulation in
+// the default suite. The output is a determinism oracle: two builds of
+// the simulator are behaviorally identical iff their digests are
+// byte-identical. Wall-clock observability counters (Stats.SimWallClock)
+// are deliberately excluded — they are the only Stats fields allowed to
+// differ between runs.
+//
+// Usage:
+//
+//	statsdigest                 # all 21 proxies x 5 models, 300k instructions
+//	statsdigest -instr 50000    # smaller budget
+//	statsdigest -bench hmmer    # one proxy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmdp"
+)
+
+func main() {
+	var (
+		instr = flag.Int64("instr", 300_000, "instruction budget per proxy")
+		bench = flag.String("bench", "", "comma-separated proxy subset (default: all)")
+	)
+	flag.Parse()
+
+	benches := dmdp.Workloads()
+	if *bench != "" {
+		benches = strings.Split(*bench, ",")
+	}
+	models := []dmdp.Model{dmdp.Baseline, dmdp.NoSQ, dmdp.DMDP, dmdp.Perfect, dmdp.FnF}
+
+	bad := false
+	for _, b := range benches {
+		tr, err := dmdp.BuildWorkloadTrace(b, *instr)
+		if err != nil {
+			fmt.Printf("%-12s -        trace error: %v\n", b, err)
+			bad = true
+			continue
+		}
+		for _, m := range models {
+			st, err := dmdp.Run(dmdp.DefaultConfig(m), tr)
+			if err != nil {
+				fmt.Printf("%-12s %-8s error: %v\n", b, m, err)
+				bad = true
+				continue
+			}
+			fmt.Printf("%-12s %-8s %s\n", b, m, digest(st))
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// digest renders every deterministic counter of one run. Field order is
+// fixed; do not reorder (diffs against recorded digests would churn).
+func digest(s *dmdp.Stats) string {
+	return fmt.Sprintf("cyc=%d inst=%d uops=%d loads=%v loadt=%v lat=%v "+
+		"lowconf=%d/%d/%v mpred=%d/%v reexec=%d stall=%d sbstall=%d "+
+		"pred=%d cloak=%d delay=%d viol=%d inval=%d bmiss=%d fstall=%d "+
+		"sc=%d/%d rr=%d rw=%d iqw=%d iqi=%d robw=%d sqs=%d tssbf=%d/%d "+
+		"sdp=%d/%d ca=%d l2=%d dram=%d tlb=%d squash=%d miss=%.6f/%.6f oracle=%d",
+		s.Cycles, s.Instructions, s.Uops, s.LoadCount, s.LoadExecTime, s.LoadLatency,
+		s.LowConfCount, s.LowConfExecTime, s.LowConfOutcomes,
+		s.DepMispredicts, s.DepMispredictsByCat, s.Reexecs, s.ReexecStallCycle, s.SBFullStall,
+		s.Predications, s.Cloaks, s.DelayedLoads, s.Violations, s.Invalidations,
+		s.BranchMispredicts, s.FetchStallCycles,
+		s.StoresCommitted, s.StoresCoalesced, s.RegReads, s.RegWrites,
+		s.IQWakeups, s.IQInserts, s.ROBWrites, s.SQSearches, s.TSSBFReads, s.TSSBFWrites,
+		s.SDPReads, s.SDPWrites, s.CacheAccesses, s.L2Accesses, s.DRAMAccesses,
+		s.TLBAccesses, s.SquashedUops, s.L1MissRate, s.L2MissRate, s.OracleChecks)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dmdp/internal/bpred"
 	"dmdp/internal/cache"
@@ -13,6 +14,9 @@ import (
 	"dmdp/internal/tlb"
 	"dmdp/internal/trace"
 )
+
+// fqCap is the fetch queue capacity. Power of two: the queue is a ring.
+const fqCap = 64
 
 // fetchEntry is a fetched instruction waiting to rename.
 type fetchEntry struct {
@@ -85,7 +89,8 @@ type Core struct {
 	events  eventHeap
 	delayed []*uop // gateSSNCommit uops parked until SSN.Commit advances
 
-	fq            []fetchEntry
+	fq            []fetchEntry // ring of fqCap entries
+	fqHead, fqLen int
 	fetchIdx      int
 	fetchStalled  bool  // mispredicted control op in flight
 	fetchBlockIdx int   // trace idx of the blocking op
@@ -95,7 +100,13 @@ type Core struct {
 	sb  *storeBuffer
 	srb *storeRegBuffer
 
-	instBySeq map[int64]*inst // in-flight stores by dynamic seq (store sets)
+	// instBySeq holds in-flight stores keyed by seq&instSeqMask (store
+	// sets). The ring's capacity exceeds the ROB size and in-flight seqs
+	// are consecutive, so two live instructions never share a slot;
+	// lookups validate the resident's seq (retired entries go stale in
+	// place instead of being deleted).
+	instBySeq   []*inst
+	instSeqMask int64
 
 	seqCounter     int64
 	uopSeq         int64
@@ -131,7 +142,19 @@ type Core struct {
 	sft        *memdep.SFT
 	lsnRename  int64
 	lsnRetire  int64
-	pendingFwd map[int64]int64
+	pendingFwd *fwdRing
+
+	// Free lists and per-cycle scratch: the steady-state cycle loop must
+	// not allocate (see the allocation-regression guard in core tests).
+	// Retired instructions and their uops are recycled here; squashed ones
+	// are abandoned to the GC (flushes are rare, and recycling them would
+	// require proving no stale reference survives the squash).
+	instPool  []*inst
+	uopPool   []*uop
+	stash     []*uop    // issue(): uops popped but not issuable this cycle
+	srcRegBuf []isa.Reg // srcPhys(): logical source scratch
+	srcBuf    []int     // srcPhys(): physical source scratch
+	sbRefBuf  []int     // flush(): surviving store-buffer register refs
 
 	// onDepMispredict, when set, observes each dependence exception
 	// (diagnostics/tests).
@@ -164,12 +187,17 @@ func New(cfg config.Config, tr *trace.Trace) (*Core, error) {
 		rf:        newRegFile(cfg.PhysRegs),
 		rob:       newRobQ(cfg.ROBSize),
 		sb:        newStoreBuffer(cfg.StoreBufferSize, cfg.Consistency == config.RMO),
-		srb:       newStoreRegBuffer(),
-		instBySeq: make(map[int64]*inst),
+		srb:       newStoreRegBuffer(cfg.ROBSize + cfg.StoreBufferSize + 2),
+		fq:        make([]fetchEntry, fqCap),
+		srcRegBuf: make([]isa.Reg, 0, 3),
+		srcBuf:    make([]int, 0, 3),
 	}
+	n := nextPow2(cfg.ROBSize + 1)
+	c.instBySeq = make([]*inst, n)
+	c.instSeqMask = int64(n - 1)
 	if cfg.Model == config.FnF {
 		c.sft = memdep.NewSFT(memdep.DefaultFnFConfig())
-		c.pendingFwd = make(map[int64]int64)
+		c.pendingFwd = newFwdRing(cfg.ROBSize + int(cfg.MaxDist()) + 2)
 	}
 	if cfg.Faults.Enabled() {
 		c.inj = faults.NewInjector(cfg.Faults)
@@ -183,34 +211,14 @@ func (c *Core) Run() (*Stats, error) {
 	if len(c.tr.Entries) == 0 {
 		return &c.stats, nil
 	}
+	start := time.Now()
 	window := c.cfg.Watchdog.NoRetireWindow
 	if window <= 0 {
 		window = config.DefaultNoRetireWindow
 	}
 	maxCycles := c.cfg.Watchdog.MaxCycles
 	for !c.done {
-		c.now++
-		if c.inj != nil && c.inj.InvalidateLine() {
-			c.injectInvalidation()
-		}
-		if c.cfg.InvalidationInterval > 0 && c.now%c.cfg.InvalidationInterval == 0 {
-			c.injectInvalidation()
-		}
-		c.commitStores()
-		c.handleEvents()
-		c.retire()
-		c.issue()
-		c.rename()
-		c.fetch()
-
-		if maxCycles > 0 && c.now >= maxCycles {
-			c.fail(&SimError{Kind: ErrWatchdog, Idx: -1,
-				Msg: fmt.Sprintf("cycle budget %d exhausted (retired %d/%d)", maxCycles, c.retired, len(c.tr.Entries))})
-		}
-		if c.now-c.lastRetireAt > window {
-			c.fail(&SimError{Kind: ErrWatchdog, Idx: -1,
-				Msg: fmt.Sprintf("no retirement for %d cycles: deadlock (retired %d/%d)", window, c.retired, len(c.tr.Entries))})
-		}
+		c.step(window, maxCycles)
 	}
 	if c.simErr != nil {
 		return nil, c.simErr
@@ -227,7 +235,54 @@ func (c *Core) Run() (*Stats, error) {
 	c.stats.L2Accesses = c.hier.L2.Accesses
 	c.stats.DRAMAccesses = c.hier.DRAM.Reads + c.hier.DRAM.Writes
 	c.stats.TLBAccesses = c.tlb.Accesses
+	c.stats.SimWallClockNS = time.Since(start).Nanoseconds()
 	return &c.stats, nil
+}
+
+// step advances the simulation by one cycle: the body of Run's loop,
+// split out so the allocation-regression guard can measure a single
+// steady-state cycle.
+func (c *Core) step(window, maxCycles int64) {
+	c.now++
+	if c.inj != nil && c.inj.InvalidateLine() {
+		c.injectInvalidation()
+	}
+	if c.cfg.InvalidationInterval > 0 && c.now%c.cfg.InvalidationInterval == 0 {
+		c.injectInvalidation()
+	}
+	c.commitStores()
+	c.handleEvents()
+	c.retire()
+	c.issue()
+	c.rename()
+	c.fetch()
+
+	if maxCycles > 0 && c.now >= maxCycles {
+		c.fail(&SimError{Kind: ErrWatchdog, Idx: -1,
+			Msg: fmt.Sprintf("cycle budget %d exhausted (retired %d/%d)", maxCycles, c.retired, len(c.tr.Entries))})
+	}
+	if c.now-c.lastRetireAt > window {
+		c.fail(&SimError{Kind: ErrWatchdog, Idx: -1,
+			Msg: fmt.Sprintf("no retirement for %d cycles: deadlock (retired %d/%d)", window, c.retired, len(c.tr.Entries))})
+	}
+}
+
+// instBySeqGet returns the in-flight store with dynamic number seq, or
+// nil (retired, squashed, or overwritten by a younger store).
+func (c *Core) instBySeqGet(seq int64) *inst {
+	if in := c.instBySeq[seq&c.instSeqMask]; in != nil && in.seq == seq {
+		return in
+	}
+	return nil
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // CheckInvariants validates internal consistency (used by tests).
@@ -458,7 +513,10 @@ func (c *Core) dispatchReady(u *uop) {
 		c.leaveIQ(u)
 		c.delayed = append(c.delayed, u)
 	case gateStoreExec:
-		if u.gateInst == nil || u.gateInst.squashed || u.gateInst.addrReady {
+		// gateSeq mismatch: the gating store retired (its inst was
+		// recycled) — a retired store has long resolved its address.
+		if u.gateInst == nil || u.gateInst.seq != u.gateSeq ||
+			u.gateInst.squashed || u.gateInst.addrReady {
 			c.ready.push(u)
 			return
 		}
@@ -497,7 +555,7 @@ func (c *Core) completeUop(u *uop) {
 					c.ready.push(w)
 				}
 			}
-			in.execWaiters = nil
+			in.execWaiters = in.execWaiters[:0]
 			if c.cfg.Model == config.Baseline {
 				c.checkViolations(in)
 			}
@@ -525,7 +583,7 @@ func (c *Core) completeUop(u *uop) {
 func (c *Core) issue() {
 	issued := 0
 	loadPorts := 0
-	var stash []*uop
+	stash := c.stash[:0]
 	for issued < c.cfg.IssueWidth && c.ready.Len() > 0 {
 		u := c.ready.pop()
 		if u.squashed {
@@ -561,6 +619,7 @@ func (c *Core) issue() {
 	for _, u := range stash {
 		c.ready.push(u)
 	}
+	c.stash = stash
 }
 
 // leaveIQ releases u's issue queue slot (idempotent).
@@ -638,14 +697,15 @@ func (c *Core) spaceFor() bool {
 
 func (c *Core) rename() {
 	for n := 0; n < c.cfg.RenameWidth; n++ {
-		if len(c.fq) == 0 || c.simErr != nil {
+		if c.fqLen == 0 || c.simErr != nil {
 			return
 		}
-		fe := c.fq[0]
+		fe := c.fq[c.fqHead]
 		if fe.readyAt > c.now || !c.spaceFor() {
 			return
 		}
-		c.fq = c.fq[1:]
+		c.fqHead = (c.fqHead + 1) & (fqCap - 1)
+		c.fqLen--
 		in := c.renameOne(fe.idx, fe.hist)
 		if fe.blocking {
 			c.blockInst = in
@@ -660,17 +720,65 @@ func (c *Core) rename() {
 	}
 }
 
+// allocUop takes a zeroed uop from the free list (or the heap).
+func (c *Core) allocUop() *uop {
+	n := len(c.uopPool)
+	if n == 0 {
+		return &uop{}
+	}
+	u := c.uopPool[n-1]
+	c.uopPool[n-1] = nil
+	c.uopPool = c.uopPool[:n-1]
+	return u
+}
+
+// allocInst takes a reset inst from the free list (or the heap).
+func (c *Core) allocInst() *inst {
+	n := len(c.instPool)
+	if n == 0 {
+		return &inst{}
+	}
+	in := c.instPool[n-1]
+	c.instPool[n-1] = nil
+	c.instPool = c.instPool[:n-1]
+	return in
+}
+
+// poolInst resets in and its uops and pushes them onto the free lists.
+// Callers must guarantee no live reference to them survives the call.
+func (c *Core) poolInst(in *inst) {
+	for _, u := range in.uops {
+		*u = uop{}
+		c.uopPool = append(c.uopPool, u)
+	}
+	uops, auxLog, auxPhys := in.uops[:0], in.auxLog[:0], in.auxPhys[:0]
+	ew := in.execWaiters[:0]
+	*in = inst{uops: uops, auxLog: auxLog, auxPhys: auxPhys, execWaiters: ew}
+	c.instPool = append(c.instPool, in)
+}
+
+// recycleInst returns a retired instruction and its uops to the free
+// lists. Safe because a retiring instruction has no pending uops: none of
+// them sit in the event heap, ready queue, delayed-load structure or
+// register waiter lists, and uops gated on a pooled store validate
+// gateSeq against gateInst.seq before trusting the pointer.
+func (c *Core) recycleInst(in *inst) {
+	if in == c.blockInst {
+		return // still referenced by the front end; abandon to the GC
+	}
+	c.poolInst(in)
+}
+
 // newUop allocates a uop, wiring operand wakeup.
 func (c *Core) newUop(in *inst, kind uopKind, class isa.Class, srcs []int, dst int) *uop {
 	c.uopSeq++
-	u := &uop{
-		kind:  kind,
-		class: class,
-		inst:  in,
-		seq:   c.uopSeq,
-		dst:   dst,
-		srcs:  [3]int{-1, -1, -1},
-	}
+	u := c.allocUop()
+	u.kind = kind
+	u.class = class
+	u.inst = in
+	u.seq = c.uopSeq
+	u.dst = dst
+	u.srcs = [3]int{-1, -1, -1}
 	for i, s := range srcs {
 		u.srcs[i] = s
 		if s >= 0 && c.rf.await(s, u) {
@@ -722,17 +830,16 @@ func (c *Core) mapAux(in *inst, l isa.Reg) int {
 func (c *Core) renameOne(idx int, hist uint32) *inst {
 	e := &c.tr.Entries[idx]
 	c.seqCounter++
-	in := &inst{
-		idx:        idx,
-		e:          e,
-		seq:        c.seqCounter,
-		renamedAt:  c.now,
-		destLog:    -1,
-		destPhys:   -1,
-		predIdx:    -1,
-		forwardIdx: -1,
-		histAtRen:  hist,
-	}
+	in := c.allocInst()
+	in.idx = idx
+	in.e = e
+	in.seq = c.seqCounter
+	in.renamedAt = c.now
+	in.destLog = -1
+	in.destPhys = -1
+	in.predIdx = -1
+	in.forwardIdx = -1
+	in.histAtRen = hist
 	c.stats.ROBWrites++
 	op := e.Instr.Op
 
@@ -769,11 +876,12 @@ func (c *Core) renameOne(idx int, hist uint32) *inst {
 	return in
 }
 
-// srcPhys maps an instruction's logical sources through the RAT.
+// srcPhys maps an instruction's logical sources through the RAT. The
+// returned slice aliases per-core scratch: it is only valid until the
+// next call (newUop copies it immediately).
 func (c *Core) srcPhys(e *trace.Entry) []int {
-	var regs [3]isa.Reg
-	logical := e.Instr.Srcs(regs[:0])
-	out := make([]int, 0, len(logical))
+	logical := e.Instr.Srcs(c.srcRegBuf[:0])
+	out := c.srcBuf[:0]
 	for _, l := range logical {
 		out = append(out, c.rf.rat[l])
 	}
@@ -790,8 +898,7 @@ func (c *Core) fetch() {
 		c.stats.FetchStallCycles++
 		return
 	}
-	const fqCap = 64
-	for n := 0; n < c.cfg.FetchWidth && len(c.fq) < fqCap && c.fetchIdx < len(c.tr.Entries); n++ {
+	for n := 0; n < c.cfg.FetchWidth && c.fqLen < fqCap && c.fetchIdx < len(c.tr.Entries); n++ {
 		idx := c.fetchIdx
 		e := &c.tr.Entries[idx]
 		fe := fetchEntry{idx: idx, readyAt: c.now + c.cfg.FrontEndDepth, hist: c.bp.History()}
@@ -801,14 +908,19 @@ func (c *Core) fetch() {
 			if !correct {
 				c.stats.BranchMispredicts++
 				fe.blocking = true
-				c.fq = append(c.fq, fe)
+				c.fqPush(fe)
 				c.fetchStalled = true
 				c.fetchBlockIdx = idx
 				return
 			}
 		}
-		c.fq = append(c.fq, fe)
+		c.fqPush(fe)
 	}
+}
+
+func (c *Core) fqPush(fe fetchEntry) {
+	c.fq[(c.fqHead+c.fqLen)&(fqCap-1)] = fe
+	c.fqLen++
 }
 
 // ---------- retire ----------
@@ -846,10 +958,14 @@ func (c *Core) retire() {
 		if in.recoverAfter {
 			// Memory dependence exception: flush everything younger
 			// and refetch after the (now corrected) load.
-			c.flush(in.idx + 1)
+			refetch := in.idx + 1
+			c.recycleInst(in)
+			c.flush(refetch)
 			return
 		}
-		if c.done {
+		stop := c.done
+		c.recycleInst(in)
+		if stop {
 			return
 		}
 	}
@@ -872,7 +988,9 @@ func (c *Core) retireStore(in *inst) {
 		c.stats.TSSBFWrites++
 	}
 	c.srb.markRetired(in.ssn)
-	delete(c.instBySeq, in.seq)
+	if i := in.seq & c.instSeqMask; c.instBySeq[i] == in {
+		c.instBySeq[i] = nil
+	}
 }
 
 // retireCommon updates architectural rename state, releases registers and
@@ -959,35 +1077,42 @@ func (c *Core) accountLoad(in *inst) {
 // surviving store buffer references is equivalent at a full-window flush)
 // and refetches from refetchIdx.
 func (c *Core) flush(refetchIdx int) {
+	// A flush squashes the whole window, so every reference to an
+	// in-flight instruction dies with it: the ready queue, delayed-load
+	// structure, event heap and register waiter lists hold only stale
+	// entries afterwards and are cleared below (resetToARAT empties the
+	// waiter lists). That makes it safe to recycle the squashed
+	// instructions and uops instead of abandoning them to the GC.
 	for i := 0; i < c.rob.len(); i++ {
 		in := c.rob.at(i)
-		in.squashed = true
 		if c.tracer != nil {
 			c.tracer.onSquash(in.idx)
 		}
 		for _, u := range in.uops {
-			u.squashed = true
 			if !u.done {
 				c.stats.SquashedUops++
 			}
 		}
+		c.poolInst(in)
 	}
 	c.rob.clear()
 	c.iqCount = 0
 	c.ready = c.ready[:0]
 	c.delayed = c.delayed[:0]
+	c.events = c.events[:0]
 
 	c.ssn.Rename = c.ssn.Retire
 	c.lsnRename = c.lsnRetire
 	c.srb.dropYoungerThan(c.ssn.Retire)
-	for seq := range c.instBySeq {
-		delete(c.instBySeq, seq)
+	for i := range c.instBySeq {
+		c.instBySeq[i] = nil
 	}
 	c.sets.Invalidate(0) // all tracked stores were in flight: clear LFST
 
-	c.rf.resetToARAT(c.sb.regRefs(nil))
+	c.sbRefBuf = c.sb.regRefs(c.sbRefBuf[:0])
+	c.rf.resetToARAT(c.sbRefBuf)
 
-	c.fq = c.fq[:0]
+	c.fqHead, c.fqLen = 0, 0
 	c.fetchIdx = refetchIdx
 	c.fetchStalled = false
 	c.blockInst = nil

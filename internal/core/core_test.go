@@ -311,6 +311,8 @@ func TestDeterminism(t *testing.T) {
 	for _, m := range allModels {
 		a := runModel(t, tr, m)
 		b := runModel(t, tr, m)
+		// The wall clock is the one field allowed to differ between runs.
+		a.SimWallClockNS, b.SimWallClockNS = 0, 0
 		if *a != *b {
 			t.Errorf("%s: nondeterministic stats", m)
 		}

@@ -23,6 +23,39 @@ import (
 // the paper builds on NoSQ instead (§VII). The alt-fnf experiment
 // measures that gap on path-dependent workloads.
 
+// fwdRing holds the pending store->load forwards keyed by target LSN.
+// It replaces a map that leaked entries claimed across flushes: slot
+// lsn&mask is validated against the stored LSN, and the live key span is
+// bounded by ROB depth + the predictor's maximum load distance, so
+// distinct live keys never collide.
+type fwdRing struct {
+	lsn  []int64 // 0 = empty
+	ssn  []int64
+	mask int64
+}
+
+func newFwdRing(span int) *fwdRing {
+	n := 1
+	for n < span {
+		n <<= 1
+	}
+	return &fwdRing{lsn: make([]int64, n), ssn: make([]int64, n), mask: int64(n - 1)}
+}
+
+func (r *fwdRing) put(lsn, ssn int64) {
+	i := lsn & r.mask
+	r.lsn[i], r.ssn[i] = lsn, ssn
+}
+
+func (r *fwdRing) take(lsn int64) (int64, bool) {
+	i := lsn & r.mask
+	if r.lsn[i] != lsn {
+		return 0, false
+	}
+	r.lsn[i] = 0
+	return r.ssn[i], true
+}
+
 // renameStoreFnF runs after the common store rename work: consult the
 // SFT and register a pending forward.
 func (c *Core) renameStoreFnF(in *inst) {
@@ -32,7 +65,7 @@ func (c *Core) renameStoreFnF(in *inst) {
 		return
 	}
 	target := c.lsnRename + 1 + pred.LoadDist
-	c.pendingFwd[target] = in.ssn
+	c.pendingFwd.put(target, in.ssn)
 	in.fnfTarget = target
 }
 
@@ -48,8 +81,7 @@ func (c *Core) renameLoadFnF(in *inst) {
 		})
 	}
 	d := in.e.Instr.Dest()
-	if ssn, ok := c.pendingFwd[in.lsn]; ok {
-		delete(c.pendingFwd, in.lsn)
+	if ssn, ok := c.pendingFwd.take(in.lsn); ok {
 		if se := c.srb.get(ssn); se != nil && d != isa.NoReg {
 			in.ssnByp = ssn
 			in.predIdx = se.idx

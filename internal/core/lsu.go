@@ -38,8 +38,8 @@ func (c *Core) renameStore(in *inst) {
 			Msg: fmt.Sprintf("SSN desync: renamed store got %d, trace says %d", in.ssn, e.StoreSeq),
 		})
 	}
-	c.srb.add(&srbEntry{ssn: in.ssn, idx: in.idx, dataPhys: in.dataPhys, addrPhys: in.addrPhys, inst: in})
-	c.instBySeq[in.seq] = in
+	c.srb.add(srbEntry{ssn: in.ssn, idx: in.idx, dataPhys: in.dataPhys, addrPhys: in.addrPhys, inst: in})
+	c.instBySeq[in.seq&c.instSeqMask] = in
 
 	switch c.cfg.Model {
 	case config.Baseline:
@@ -47,9 +47,10 @@ func (c *Core) renameStore(in *inst) {
 		// address generation waits for the previous store in its set
 		// (Chrysos & Emer's in-order store-set execution rule).
 		if prevSeq := c.sets.StoreRenamed(e.PC, in.seq); prevSeq != 0 {
-			if prev := c.instBySeq[prevSeq]; prev != nil && !prev.addrReady {
+			if prev := c.instBySeqGet(prevSeq); prev != nil && !prev.addrReady {
 				agi.gate = gateStoreExec
 				agi.gateInst = prev
+				agi.gateSeq = prev.seq
 			}
 		}
 	case config.FnF:
@@ -107,9 +108,10 @@ func (c *Core) renameLoadBaseline(in *inst) {
 	// Store Sets: the load may not issue before its set's last fetched
 	// store resolves its address.
 	if waitSeq := c.sets.LoadRenamed(e.PC); waitSeq != 0 {
-		if st := c.instBySeq[waitSeq]; st != nil && !st.addrReady {
+		if st := c.instBySeqGet(waitSeq); st != nil && !st.addrReady {
 			ld.gate = gateStoreExec
 			ld.gateInst = st
+			ld.gateSeq = st.seq
 		}
 	}
 	c.finishUopSetup(ld)

@@ -112,13 +112,17 @@ func (rf *regFile) maybeFree(p int) {
 	}
 }
 
-// setReady marks p's value available at cycle and returns the woken uops.
+// setReady marks p's value available at cycle and returns the woken
+// uops. The returned slice keeps its backing array registered as p's
+// (now empty) waiter list — safe to iterate because await never appends
+// to a ready register, and p cannot be re-allocated mid-writeback (only
+// rename allocates).
 func (rf *regFile) setReady(p int, cycle int64) []*uop {
 	r := &rf.regs[p]
 	r.ready = true
 	r.readyAt = cycle
 	w := rf.waiters[p]
-	rf.waiters[p] = nil
+	rf.waiters[p] = w[:0]
 	return w
 }
 
@@ -143,7 +147,7 @@ func (rf *regFile) resetToARAT(sbRefs []int) {
 	for p := range rf.regs {
 		rf.regs[p].producers = 0
 		rf.regs[p].consumers = 0
-		rf.waiters[p] = nil
+		rf.waiters[p] = rf.waiters[p][:0]
 	}
 	for _, p := range rf.arat {
 		rf.regs[p].producers++

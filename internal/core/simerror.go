@@ -137,9 +137,12 @@ func (c *Core) fail(e *SimError) {
 }
 
 // recordRetire appends in to the diagnostic ring buffer; call after
-// c.retired has been incremented.
+// c.retired has been incremented. The disassembly string is NOT built
+// here — recordRetire runs once per retired instruction, so the ring
+// only stores the trace index and retireTail materializes Disasm on the
+// (cold) SimError path.
 func (c *Core) recordRetire(in *inst) {
-	r := RetireRecord{Cycle: c.now, Idx: in.idx, PC: in.e.PC, Disasm: in.e.Instr.String()}
+	r := RetireRecord{Cycle: c.now, Idx: in.idx, PC: in.e.PC}
 	switch {
 	case in.isLoad():
 		r.Value, r.IsMem = in.gotValue, true
@@ -149,7 +152,8 @@ func (c *Core) recordRetire(in *inst) {
 	c.retireLog[int((c.retired-1)%retireLogCap)] = r
 }
 
-// retireTail returns the ring buffer's contents oldest-first.
+// retireTail returns the ring buffer's contents oldest-first, filling in
+// the lazily-built disassembly.
 func (c *Core) retireTail() []RetireRecord {
 	n := c.retired
 	if n > retireLogCap {
@@ -157,7 +161,9 @@ func (c *Core) retireTail() []RetireRecord {
 	}
 	out := make([]RetireRecord, 0, n)
 	for i := c.retired - n; i < c.retired; i++ {
-		out = append(out, c.retireLog[int(i%retireLogCap)])
+		r := c.retireLog[int(i%retireLogCap)]
+		r.Disasm = c.tr.Entries[r.Idx].Instr.String()
+		out = append(out, r)
 	}
 	return out
 }
@@ -177,7 +183,7 @@ func (c *Core) snapshot() PipeSnapshot {
 		Delayed:      len(c.delayed),
 		StoreBuffer:  c.sb.len(),
 		FreeRegs:     c.rf.freeCount(),
-		FetchQueue:   len(c.fq),
+		FetchQueue:   c.fqLen,
 		FetchIdx:     c.fetchIdx,
 		FetchStalled: c.fetchStalled,
 	}

@@ -14,7 +14,11 @@
 // the pipeline at retire and refetch, like the machine in the paper.
 package core
 
-import "dmdp/internal/faults"
+import (
+	"math"
+
+	"dmdp/internal/faults"
+)
 
 // LoadCategory classifies how a load obtained its value (paper Fig. 2).
 type LoadCategory uint8
@@ -124,6 +128,21 @@ type Stats struct {
 	// Hardening layer.
 	OracleChecks int64         // commit-time oracle comparisons performed
 	Faults       faults.Counts // injected faults by class (zero when disabled)
+
+	// SimWallClockNS is the host wall-clock duration of the Run call in
+	// nanoseconds. Observability only: it is the one Stats field allowed
+	// to differ between otherwise identical runs, so determinism
+	// comparisons (and cmd/statsdigest) must exclude it.
+	SimWallClockNS int64
+}
+
+// SimIPS returns the simulator's own throughput in simulated instructions
+// per host wall-clock second (0 when the wall clock was not recorded).
+func (s *Stats) SimIPS() float64 {
+	if s.SimWallClockNS == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / (float64(s.SimWallClockNS) / 1e9)
 }
 
 // latencyBuckets spans latencies up to 2^23 cycles.
@@ -149,7 +168,10 @@ func (s *Stats) LoadLatencyPercentile(p float64) int64 {
 	if total == 0 {
 		return 0
 	}
-	target := int64(p / 100 * float64(total))
+	// Ceiling, not truncation: the percentile rank is the smallest k with
+	// k >= p/100*total. Truncating put exact bucket boundaries (and p=100
+	// with small totals) one bucket too low.
+	target := int64(math.Ceil(p / 100 * float64(total)))
 	if target < 1 {
 		target = 1
 	}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dmdp/internal/config"
+)
+
+// TestLoadLatencyPercentileBoundaries pins the ceiling semantics of the
+// percentile rank: the p-th percentile is the smallest bucket whose
+// cumulative count reaches ceil(p/100*total). The old truncating code put
+// exact boundaries one bucket too low (e.g. the median of {fast, slow,
+// slow} came back "fast").
+func TestLoadLatencyPercentileBoundaries(t *testing.T) {
+	var st Stats
+	// 1 fast load (latency 1 -> bucket 1), 2 slow (latency 100 -> bucket 7).
+	st.LoadLatency[latencyBucket(1)] = 1
+	st.LoadLatency[latencyBucket(100)] = 2
+	// Median of {1, 100, 100} is slow: ceil(0.5*3) = 2 lands in the slow
+	// bucket. Truncation computed rank int(1.5) = 1 and returned the fast
+	// bucket.
+	if p := st.LoadLatencyPercentile(50); p < 100 {
+		t.Errorf("p50 of {fast, slow, slow} = %d, want slow bucket bound", p)
+	}
+	// p just below the 1/3 boundary still selects the fast bucket...
+	if p := st.LoadLatencyPercentile(100.0 / 3); p != 2 {
+		t.Errorf("p33.3 = %d, want 2", p)
+	}
+	// ...and p=100 must always reach the last occupied bucket.
+	if p := st.LoadLatencyPercentile(100); p < 100 {
+		t.Errorf("p100 = %d, want slow bucket bound", p)
+	}
+
+	// Exact boundary with an even split: p50 of {50x fast, 50x slow} is
+	// rank 50, the last fast load.
+	var ev Stats
+	ev.LoadLatency[latencyBucket(1)] = 50
+	ev.LoadLatency[latencyBucket(100)] = 50
+	if p := ev.LoadLatencyPercentile(50); p != 2 {
+		t.Errorf("even-split p50 = %d, want 2", p)
+	}
+	if p := ev.LoadLatencyPercentile(51); p < 100 {
+		t.Errorf("even-split p51 = %d, want slow bucket bound", p)
+	}
+
+	// Tiny p clamps to rank 1 rather than rank 0.
+	var one Stats
+	one.LoadLatency[latencyBucket(100)] = 1000
+	if p := one.LoadLatencyPercentile(0.001); p < 100 {
+		t.Errorf("p0.001 of all-slow = %d, want slow bucket bound", p)
+	}
+
+	// Zero-latency loads live in bucket 0 and report 0.
+	var z Stats
+	z.LoadLatency[0] = 10
+	if p := z.LoadLatencyPercentile(100); p != 0 {
+		t.Errorf("all-zero-latency p100 = %d, want 0", p)
+	}
+}
+
+// TestStatsRateHelpersZeroRun asserts that every derived-rate helper is
+// total on the zero value: no division by zero, no NaN/Inf.
+func TestStatsRateHelpersZeroRun(t *testing.T) {
+	var st Stats
+	vals := map[string]float64{
+		"IPC":                 st.IPC(),
+		"MPKI":                st.MPKI(),
+		"ReexecStallsPerKilo": st.ReexecStallsPerKilo(),
+		"SBStallsPerKilo":     st.SBStallsPerKilo(),
+		"MeanLoadExecTime":    st.MeanLoadExecTime(),
+		"MeanLowConfExecTime": st.MeanLowConfExecTime(),
+		"SimIPS":              st.SimIPS(),
+	}
+	for c := LoadDirect; c < numLoadCategories; c++ {
+		vals["MeanExecTime/"+c.String()] = st.MeanExecTime(c)
+	}
+	for name, v := range vals {
+		if v != 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s on zero Stats = %v, want 0", name, v)
+		}
+	}
+	if st.TotalLoads() != 0 {
+		t.Errorf("TotalLoads on zero Stats = %d", st.TotalLoads())
+	}
+	if st.LoadLatencyPercentile(99) != 0 {
+		t.Errorf("LoadLatencyPercentile on zero Stats = %d", st.LoadLatencyPercentile(99))
+	}
+}
+
+// TestStatsHelpersMinimalRun runs the shortest possible program (a bare
+// halt) through every model and checks the helpers stay finite: a run
+// that retires almost nothing must not produce NaN in any report column.
+func TestStatsHelpersMinimalRun(t *testing.T) {
+	tr := traceOf(t, "\t.text\nmain:\n\thalt\n", 100)
+	for _, m := range allModels {
+		st := runModel(t, tr, m)
+		for name, v := range map[string]float64{
+			"IPC":                 st.IPC(),
+			"MPKI":                st.MPKI(),
+			"ReexecStallsPerKilo": st.ReexecStallsPerKilo(),
+			"SBStallsPerKilo":     st.SBStallsPerKilo(),
+			"MeanLoadExecTime":    st.MeanLoadExecTime(),
+			"MeanLowConfExecTime": st.MeanLowConfExecTime(),
+			"SimIPS":              st.SimIPS(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s/%s on halt-only run = %v", m, name, v)
+			}
+		}
+	}
+}
+
+// TestSimWallClockRecorded checks Run stamps the wall clock and SimIPS
+// derives a positive throughput from it.
+func TestSimWallClockRecorded(t *testing.T) {
+	tr := traceOf(t, ocPattern, 50_000)
+	st := runModel(t, tr, config.DMDP)
+	if st.SimWallClockNS <= 0 {
+		t.Fatalf("SimWallClockNS = %d, want > 0", st.SimWallClockNS)
+	}
+	if ips := st.SimIPS(); ips <= 0 {
+		t.Fatalf("SimIPS = %v, want > 0", ips)
+	}
+}

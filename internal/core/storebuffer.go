@@ -94,29 +94,80 @@ type srbEntry struct {
 	inst     *inst // nil once the store has retired into the SB
 }
 
-// storeRegBuffer maps SSN -> register identities for all in-flight stores.
+// storeRegBuffer maps SSN -> register identities for all in-flight
+// stores. It is an open ring indexed by ssn&mask (ssn 0 marks an empty
+// slot; real SSNs start at 1): live SSNs usually span at most
+// ROB+SB entries, but under RMO an old store can stay pending while
+// rename advances arbitrarily, so add grows the ring whenever a live
+// entry would collide.
 type storeRegBuffer struct {
-	entries map[int64]*srbEntry
+	entries []srbEntry
+	mask    int64
 }
 
-func newStoreRegBuffer() *storeRegBuffer {
-	return &storeRegBuffer{entries: make(map[int64]*srbEntry)}
+func newStoreRegBuffer(span int) *storeRegBuffer {
+	n := 1
+	for n < span {
+		n <<= 1
+	}
+	return &storeRegBuffer{entries: make([]srbEntry, n), mask: int64(n - 1)}
 }
 
-func (s *storeRegBuffer) add(e *srbEntry)         { s.entries[e.ssn] = e }
-func (s *storeRegBuffer) get(ssn int64) *srbEntry { return s.entries[ssn] }
-func (s *storeRegBuffer) remove(ssn int64)        { delete(s.entries, ssn) }
+func (s *storeRegBuffer) add(e srbEntry) {
+	for s.entries[e.ssn&s.mask].ssn != 0 {
+		s.grow()
+	}
+	s.entries[e.ssn&s.mask] = e
+}
+
+// grow re-places every live entry into a larger ring, doubling until no
+// two live SSNs share a slot.
+func (s *storeRegBuffer) grow() {
+	old := s.entries
+	size := 2 * len(old)
+retry:
+	for {
+		entries := make([]srbEntry, size)
+		mask := int64(size - 1)
+		for i := range old {
+			if old[i].ssn == 0 {
+				continue
+			}
+			if entries[old[i].ssn&mask].ssn != 0 {
+				size *= 2
+				continue retry
+			}
+			entries[old[i].ssn&mask] = old[i]
+		}
+		s.entries, s.mask = entries, mask
+		return
+	}
+}
+
+func (s *storeRegBuffer) get(ssn int64) *srbEntry {
+	if e := &s.entries[ssn&s.mask]; e.ssn == ssn {
+		return e
+	}
+	return nil
+}
+
+func (s *storeRegBuffer) remove(ssn int64) {
+	if e := &s.entries[ssn&s.mask]; e.ssn == ssn {
+		*e = srbEntry{}
+	}
+}
+
 func (s *storeRegBuffer) markRetired(ssn int64) {
-	if e := s.entries[ssn]; e != nil {
+	if e := s.get(ssn); e != nil {
 		e.inst = nil
 	}
 }
 
 // dropYoungerThan removes squashed stores (SSN > keep) during recovery.
 func (s *storeRegBuffer) dropYoungerThan(keep int64) {
-	for ssn := range s.entries {
-		if ssn > keep {
-			delete(s.entries, ssn)
+	for i := range s.entries {
+		if s.entries[i].ssn > keep {
+			s.entries[i] = srbEntry{}
 		}
 	}
 }

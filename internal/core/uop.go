@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"dmdp/internal/isa"
 	"dmdp/internal/trace"
 )
@@ -45,8 +43,9 @@ type uop struct {
 	gate     gateKind
 	gateSSN  int64
 	gateInst *inst
-	parked   bool // moved into the delayed-load structure
-	counted  bool // currently occupies an IQ slot
+	gateSeq  int64 // gateInst's seq when the gate was set (staleness check: insts are pooled)
+	parked   bool  // moved into the delayed-load structure
+	counted  bool  // currently occupies an IQ slot
 
 	// cmovSel: for uopCMOV, true when this is the predicate-true arm
 	// (selects the store data).
@@ -141,23 +140,58 @@ func (in *inst) complete() bool { return in.pending == 0 }
 
 // ---------- ready queue (issue priority by age) ----------
 
+// readyHeap is a hand-rolled binary min-heap ordered by uop.seq. It
+// deliberately avoids container/heap: the interface indirection costs a
+// dynamic dispatch per sift step, and this queue sits on the per-cycle
+// issue path.
 type readyHeap []*uop
 
-func (h readyHeap) Len() int           { return len(h) }
-func (h readyHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
-func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)        { *h = append(*h, x.(*uop)) }
-func (h *readyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	u := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+func (h readyHeap) Len() int { return len(h) }
+
+func (h *readyHeap) push(u *uop) {
+	a := append(*h, u)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].seq <= a[i].seq {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+	*h = a
+}
+
+func (h *readyHeap) pop() *uop {
+	a := *h
+	u := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = nil
+	a = a[:n]
+	siftDownReady(a, 0)
+	*h = a
 	return u
 }
 
-func (h *readyHeap) push(u *uop) { heap.Push(h, u) }
-func (h *readyHeap) pop() *uop   { return heap.Pop(h).(*uop) }
+func siftDownReady(a []*uop, i int) {
+	n := len(a)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && a[r].seq < a[l].seq {
+			m = r
+		}
+		if a[i].seq <= a[m].seq {
+			return
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+}
 
 // ---------- completion events ----------
 
@@ -166,26 +200,65 @@ type event struct {
 	u  *uop
 }
 
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.u.seq < o.u.seq
+}
+
+// eventHeap is a hand-rolled binary min-heap of completion events ordered
+// by (cycle, uop seq). Like readyHeap it avoids container/heap — and in
+// particular the event-struct-to-interface boxing that used to allocate
+// on every schedule call.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+
+func (h *eventHeap) schedule(at int64, u *uop) {
+	a := append(*h, event{at: at, u: u})
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].before(a[i]) {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
 	}
-	return h[i].u.seq < h[j].u.seq
+	*h = a
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+func (h *eventHeap) popMin() event {
+	a := *h
+	e := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{}
+	a = a[:n]
+	siftDownEvent(a, 0)
+	*h = a
 	return e
 }
 
-func (h *eventHeap) schedule(at int64, u *uop) { heap.Push(h, event{at: at, u: u}) }
+func siftDownEvent(a []event, i int) {
+	n := len(a)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && a[r].before(a[l]) {
+			m = r
+		}
+		if a[i].before(a[m]) {
+			return
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+}
 
 // popDue removes and returns the next event due at or before now, or nil.
 func (h *eventHeap) popDue(now int64) *uop {
@@ -193,7 +266,7 @@ func (h *eventHeap) popDue(now int64) *uop {
 		if (*h)[0].at > now {
 			return nil
 		}
-		e := heap.Pop(h).(event)
+		e := h.popMin()
 		if e.u.squashed {
 			continue
 		}

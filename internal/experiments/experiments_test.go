@@ -111,9 +111,38 @@ func TestPrefetchParallelMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if *a != *s {
+			ac, sc := *a, *s
+			ac.SimWallClockNS, sc.SimWallClockNS = 0, 0 // host timing may differ
+			if ac != sc {
 				t.Errorf("%s/%s: parallel and serial runs differ", b, m)
 			}
+		}
+	}
+}
+
+// TestExperimentsByteIdenticalAcrossRuns renders every experiment twice
+// with independent runners and requires byte-identical output. This is
+// the regression guard for map-iteration-order bugs: any report that
+// ranges over a Go map without a fixed key order will eventually differ
+// between runs.
+func TestExperimentsByteIdenticalAcrossRuns(t *testing.T) {
+	render := func() map[string]string {
+		r := smallRunner()
+		out := make(map[string]string, len(All()))
+		for _, e := range All() {
+			s, err := e.Run(r)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out[e.ID] = s
+		}
+		return out
+	}
+	a, b := render(), render()
+	for _, e := range All() {
+		if a[e.ID] != b[e.ID] {
+			t.Errorf("%s: output differs between two identical runs\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				e.ID, a[e.ID], b[e.ID])
 		}
 	}
 }

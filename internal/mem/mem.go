@@ -14,6 +14,11 @@ const (
 // empty image; unwritten bytes read as zero.
 type Image struct {
 	pages map[uint32]*[pageSize]byte
+
+	// One-slot translation cache: accesses cluster heavily within a page
+	// (and a multi-byte access probes the map once per byte without it).
+	lastPN   uint32
+	lastPage *[pageSize]byte
 }
 
 // NewImage returns an empty memory image.
@@ -23,10 +28,16 @@ func NewImage() *Image {
 
 func (m *Image) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageShift
+	if p := m.lastPage; p != nil && m.lastPN == pn {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }

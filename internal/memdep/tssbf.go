@@ -41,20 +41,32 @@ type tssbfEntry struct {
 // sets behave as FIFOs of the last N store SSNs mapping there (paper
 // §IV-A b). Retiring stores insert; retiring loads look up their
 // youngest colliding store's SSN.
+//
+// Storage is one flat array (set i occupies entries[i*Ways:] with lens[i]
+// valid slots, ordered oldest..youngest): the filter is probed once per
+// retiring load and store, and the flat layout avoids the extra pointer
+// hop and per-set slice headers of a [][]entry.
 type TSSBF struct {
-	cfg  TSSBFConfig
-	sets [][]tssbfEntry // each set ordered oldest..youngest (FIFO)
+	cfg     TSSBFConfig
+	entries []tssbfEntry
+	lens    []int
 
 	Inserts, Lookups, TagMisses int64
 }
 
 // NewTSSBF builds the filter.
 func NewTSSBF(cfg TSSBFConfig) *TSSBF {
-	t := &TSSBF{cfg: cfg, sets: make([][]tssbfEntry, cfg.Sets)}
-	for i := range t.sets {
-		t.sets[i] = make([]tssbfEntry, 0, cfg.Ways)
+	return &TSSBF{
+		cfg:     cfg,
+		entries: make([]tssbfEntry, cfg.Sets*cfg.Ways),
+		lens:    make([]int, cfg.Sets),
 	}
-	return t
+}
+
+// set returns set si's valid entries, oldest first.
+func (t *TSSBF) set(si uint32) []tssbfEntry {
+	base := int(si) * t.cfg.Ways
+	return t.entries[base : base+t.lens[si]]
 }
 
 func (t *TSSBF) index(wordAddr uint32) uint32 {
@@ -72,12 +84,14 @@ func (t *TSSBF) tag(wordAddr uint32) uint32 { return wordAddr >> 2 }
 func (t *TSSBF) Insert(wordAddr uint32, bab uint8, ssn int64) {
 	t.Inserts++
 	si := t.index(wordAddr)
-	set := t.sets[si]
-	if len(set) == t.cfg.Ways {
+	set := t.set(si)
+	n := len(set)
+	if n == t.cfg.Ways {
 		copy(set, set[1:])
-		set = set[:len(set)-1]
+		n--
 	}
-	t.sets[si] = append(set, tssbfEntry{tag: t.tag(wordAddr), ssn: ssn, bab: bab, valid: true})
+	t.entries[int(si)*t.cfg.Ways+n] = tssbfEntry{tag: t.tag(wordAddr), ssn: ssn, bab: bab, valid: true}
+	t.lens[si] = n + 1
 }
 
 // Lookup returns the SSN of the youngest store whose word address matches
@@ -87,7 +101,7 @@ func (t *TSSBF) Insert(wordAddr uint32, bab uint8, ssn int64) {
 // returns 0 (no possible in-flight collision).
 func (t *TSSBF) Lookup(wordAddr uint32, bab uint8) int64 {
 	t.Lookups++
-	set := t.sets[t.index(wordAddr)]
+	set := t.set(t.index(wordAddr))
 	tag := t.tag(wordAddr)
 	// Youngest first: scan from the back of the FIFO.
 	for i := len(set) - 1; i >= 0; i-- {
@@ -113,7 +127,7 @@ func (t *TSSBF) Lookup(wordAddr uint32, bab uint8) int64 {
 // dependencies on tag matches; the fallback SSN is an upper bound for the
 // vulnerability check, not evidence of a collision.
 func (t *TSSBF) LookupCovering(wordAddr uint32, bab uint8) (ssn int64, tagMatch, covered bool) {
-	set := t.sets[t.index(wordAddr)]
+	set := t.set(t.index(wordAddr))
 	tag := t.tag(wordAddr)
 	for i := len(set) - 1; i >= 0; i-- {
 		e := set[i]

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Record a benchmark baseline as BENCH_<NNNN>.json in the repo root.
+#
+# Usage:
+#   scripts/bench.sh                  # next free BENCH number, default pattern
+#   BENCH=Simulator scripts/bench.sh  # restrict -bench pattern
+#   COUNT=10 scripts/bench.sh         # more repetitions
+#   BASELINE=old.txt BASELINE_COMMIT=abc1234 scripts/bench.sh
+#       also embed an older run (raw `go test -bench` output) and a
+#       per-benchmark speedup / allocation-reduction summary.
+#
+# The raw `go test` output is kept next to the JSON as BENCH_<NNNN>.txt
+# so future runs can be compared against it via BASELINE=.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH:-Fig2LoadDistribution|Fig12Speedup|TableVIMPKI|SimulatorThroughput}"
+COUNT="${COUNT:-5}"
+
+# Baselines are numbered by the PR that recorded them; ID=BENCH_0007
+# overrides, otherwise the next free number is used.
+if [ -n "${ID:-}" ]; then
+	id="$ID"
+else
+	n=0
+	while [ -e "$(printf 'BENCH_%04d.json' "$n")" ]; do
+		n=$((n + 1))
+	done
+	id=$(printf 'BENCH_%04d' "$n")
+fi
+
+echo "== $id: go test -run '^\$' -bench '$PATTERN' -benchmem -count $COUNT" >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" | tee "$id.txt"
+
+set -- -out "$id.json" \
+	-date "$(date -u +%Y-%m-%d)" \
+	-count "$COUNT" \
+	-commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)$(git diff --quiet HEAD 2>/dev/null || echo -dirty)"
+if [ -n "${BASELINE:-}" ]; then
+	set -- "$@" -baseline "$BASELINE" -baseline-commit "${BASELINE_COMMIT:-unknown}"
+fi
+if [ -n "${NOTE:-}" ]; then
+	set -- "$@" -note "$NOTE"
+fi
+go run ./cmd/benchjson "$@" "$id.txt"
+echo "wrote $id.json (raw output in $id.txt)" >&2
