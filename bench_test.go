@@ -57,6 +57,30 @@ func BenchmarkAblInvalidations(b *testing.B)           { benchExperiment(b, "abl
 func BenchmarkAltFnF(b *testing.B)                     { benchExperiment(b, "alt-fnf") }
 func BenchmarkAblPrefetch(b *testing.B)                { benchExperiment(b, "abl-prefetch") }
 
+// BenchmarkSuiteParallel measures the deterministic parallel experiment
+// engine end to end: one WarmUp over the union of every experiment's
+// declared runs (deduplicated by config digest, scheduled
+// longest-trace-first on the worker pool), then rendering all 21
+// experiments from warm cache. This is the benchmark the full-suite
+// wall-clock numbers in BENCH_*.json track.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Options{Budget: benchBudget, Parallel: true})
+		if err := r.WarmUp(experiments.All()...); err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range experiments.All() {
+			out, err := e.Run(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) == 0 {
+				b.Fatal("empty experiment output")
+			}
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // instructions per wall-clock second) of the DMDP core on one proxy.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -28,6 +28,7 @@ func main() {
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
 		serial   = flag.Bool("serial", false, "disable parallel simulation")
+		jobsFlag = flag.Int("j", 0, "worker-pool width for parallel simulation (0 = GOMAXPROCS)")
 		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file")
@@ -50,7 +51,7 @@ func main() {
 	if _, err := fmt.Sscan(*instr, &budget); err != nil || budget <= 0 {
 		fatal(fmt.Errorf("bad -instr %q", *instr))
 	}
-	opt := experiments.Options{Budget: budget, Parallel: !*serial}
+	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -69,8 +70,12 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := r.Prefetch(); err != nil {
-		fatal(err)
+	// Warm-up executes the union of every selected experiment's declared
+	// runs on the worker pool; rendering below then hits only warm cache.
+	// Failed runs are negatively cached and surface in the failure table,
+	// so a warm-up error is a warning, not a stop.
+	if err := r.WarmUp(selected...); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: warm-up: %v (continuing)\n", err)
 	}
 	// One broken experiment (or benchmark) must not sink the rest of the
 	// suite: failed experiments are counted, failed benchmark runs are

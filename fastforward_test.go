@@ -1,0 +1,63 @@
+package dmdp
+
+import (
+	"testing"
+)
+
+// TestFastForwardEquivalence proves the idle-cycle fast-forward is exact:
+// for every proxy and every model, a run with fast-forward disabled and a
+// run with it enabled must produce identical statistics (excluding only
+// the host wall-clock field). The fast-forward may only skip cycles it
+// can prove would mutate nothing, crediting the per-cycle stall counters
+// for the skipped window, so any divergence here is a correctness bug in
+// the skip condition or the deadline set, not a tolerance issue.
+func TestFastForwardEquivalence(t *testing.T) {
+	const budget = 6000
+	models := []Model{Baseline, NoSQ, DMDP, Perfect, FnF}
+	for _, bench := range Workloads() {
+		tr, err := BuildWorkloadTrace(bench, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		for _, m := range models {
+			off, err := Run(DefaultConfig(m).WithFastForward(false), tr)
+			if err != nil {
+				t.Fatalf("%s/%v (ff off): %v", bench, m, err)
+			}
+			on, err := Run(DefaultConfig(m), tr)
+			if err != nil {
+				t.Fatalf("%s/%v (ff on): %v", bench, m, err)
+			}
+			a, b := *off, *on
+			a.SimWallClockNS, b.SimWallClockNS = 0, 0
+			if a != b {
+				t.Errorf("%s/%v: stats differ with fast-forward on\noff: %+v\non:  %+v", bench, m, a, b)
+			}
+		}
+	}
+}
+
+// TestFastForwardDisabledUnderFaultInjection: the injector draws from its
+// PRNG every cycle, so skipping cycles would change the fault schedule.
+// The core must keep stepping cycle by cycle (and stay deterministic)
+// when faults are configured.
+func TestFastForwardDisabledUnderFaultInjection(t *testing.T) {
+	tr, err := BuildWorkloadTrace("mcf", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(DMDP).WithFaults(FaultConfig{Seed: 7, ForceLowConfRate: 0.01})
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg.WithFastForward(false), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := *a, *b
+	x.SimWallClockNS, y.SimWallClockNS = 0, 0
+	if x != y {
+		t.Errorf("fault-injected run differs with the fast-forward switch: the injector must disable fast-forward\nff-default: %+v\nff-off:     %+v", x, y)
+	}
+}

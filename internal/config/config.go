@@ -157,6 +157,16 @@ type Config struct {
 	// is the standard alternative for short intervals.
 	WarmupInstructions int64
 
+	// DisableFastForward turns off the idle-cycle fast-forward: when the
+	// core proves a cycle changed nothing (fetch drained or stalled, no
+	// uop ready, nothing retired, no store commit progress), it jumps
+	// directly to the next deadline (event completion, store write-back,
+	// front-end resume, re-execution finish, watchdog expiry) instead of
+	// stepping empty cycles. The jump is exact — statistics are
+	// bit-identical either way (see TestFastForwardEquivalence) — so the
+	// switch exists only for that equivalence test and for debugging.
+	DisableFastForward bool
+
 	// Watchdog bounds runaway simulations (cycle budget + no-retire
 	// deadlock window); see the Watchdog type.
 	Watchdog Watchdog
@@ -213,6 +223,13 @@ func Default(model Model) Config {
 // field at its unlimited/default behaviour).
 func (c Config) WithWatchdog(maxCycles, noRetireWindow int64) Config {
 	c.Watchdog = Watchdog{MaxCycles: maxCycles, NoRetireWindow: noRetireWindow}
+	return c
+}
+
+// WithFastForward returns a copy with the idle-cycle fast-forward set
+// (on by default; the off position exists for equivalence testing).
+func (c Config) WithFastForward(on bool) Config {
+	c.DisableFastForward = !on
 	return c
 }
 

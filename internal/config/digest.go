@@ -1,0 +1,78 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"reflect"
+)
+
+// Digest is a stable content hash over every Config field. Two configs
+// share a digest iff they describe the same machine, so run caches keyed
+// by digest deduplicate identical simulations regardless of how callers
+// label them. The hash covers nested structs recursively and includes
+// field names, so adding, removing or renaming a field changes every
+// digest (stale cross-build comparisons fail loudly rather than alias).
+type Digest [sha256.Size]byte
+
+// String renders the digest as hex (for logs and test failures).
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Short returns the first 12 hex digits, enough to disambiguate runs in
+// human-facing tables.
+func (d Digest) Short() string { return hex.EncodeToString(d[:6]) }
+
+// Digest returns the canonical content hash of the configuration.
+func (c *Config) Digest() Digest {
+	h := sha256.New()
+	hashValue(h, reflect.ValueOf(*c))
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// hashValue canonically serializes v into h. Only value kinds that can
+// appear in a machine description are supported; anything reference-like
+// (pointer, map, func, chan, interface) would make the digest unstable
+// and panics so the config change that introduced it is caught in tests.
+func hashValue(h hash.Hash, v reflect.Value) {
+	var buf [8]byte
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			buf[0] = 1
+		}
+		h.Write(buf[:1])
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.Int()))
+		h.Write(buf[:])
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		binary.LittleEndian.PutUint64(buf[:], v.Uint())
+		h.Write(buf[:])
+	case reflect.Float32, reflect.Float64:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
+		h.Write(buf[:])
+	case reflect.String:
+		s := v.String()
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		fmt.Fprint(h, s)
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			fmt.Fprint(h, t.Field(i).Name)
+			hashValue(h, v.Field(i))
+		}
+	case reflect.Array, reflect.Slice:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.Len()))
+		h.Write(buf[:])
+		for i := 0; i < v.Len(); i++ {
+			hashValue(h, v.Index(i))
+		}
+	default:
+		panic("config: Digest cannot hash field kind " + v.Kind().String())
+	}
+}

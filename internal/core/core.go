@@ -116,6 +116,16 @@ type Core struct {
 	fpDivBusyUntil int64
 	done           bool
 
+	// Idle-cycle fast-forward: progress records whether the current
+	// cycle changed any simulation state; a cycle that provably did
+	// nothing lets the core jump straight to the next deadline (see
+	// fastForward). ffEnabled gates the whole mechanism — off when the
+	// config disables it and under fault injection (the injector draws
+	// from its PRNG every cycle, so skipping cycles would change the
+	// fault schedule).
+	progress  bool
+	ffEnabled bool
+
 	// Hardening layer: the first structured failure (oracle divergence,
 	// watchdog expiry, desync, refcount underflow), the diagnostic ring
 	// of recently retired instructions, and the fault injector (nil when
@@ -203,6 +213,7 @@ func New(cfg config.Config, tr *trace.Trace) (*Core, error) {
 		c.inj = faults.NewInjector(cfg.Faults)
 	}
 	c.trackInval = cfg.InvalidationInterval > 0 || (c.inj != nil && c.inj.WantsInvalidations())
+	c.ffEnabled = !cfg.DisableFastForward && c.inj == nil
 	return c, nil
 }
 
@@ -244,6 +255,7 @@ func (c *Core) Run() (*Stats, error) {
 // steady-state cycle.
 func (c *Core) step(window, maxCycles int64) {
 	c.now++
+	c.progress = false
 	if c.inj != nil && c.inj.InvalidateLine() {
 		c.injectInvalidation()
 	}
@@ -265,6 +277,81 @@ func (c *Core) step(window, maxCycles int64) {
 		c.fail(&SimError{Kind: ErrWatchdog, Idx: -1,
 			Msg: fmt.Sprintf("no retirement for %d cycles: deadlock (retired %d/%d)", window, c.retired, len(c.tr.Entries))})
 	}
+	if !c.progress {
+		c.fastForward(window, maxCycles)
+	}
+}
+
+// fastForward jumps over provably empty cycles. It runs only after a
+// cycle in which no pipeline stage changed any state (nothing committed,
+// completed, retired, issued, renamed or fetched): everything left in
+// flight is waiting on a known future cycle, so the simulation state at
+// every intermediate cycle is identical to the current one and stepping
+// through them one by one would only burn host time. The core jumps to
+// one cycle before the earliest deadline — the next completion event,
+// store write-back, front-end resume, re-execution finish, invalidation
+// tick or watchdog expiry — and credits the per-cycle stall counters
+// (fetch stall, re-execution stall, store-buffer-full stall) for the
+// skipped cycles exactly as stepping would have. Statistics are therefore
+// bit-identical with the switch on or off (TestFastForwardEquivalence).
+func (c *Core) fastForward(window, maxCycles int64) {
+	if !c.ffEnabled || c.done || c.simErr != nil || c.ready.Len() > 0 {
+		return
+	}
+	deadline := int64(-1)
+	add := func(t int64) {
+		if t > c.now && (deadline < 0 || t < deadline) {
+			deadline = t
+		}
+	}
+	if t := c.events.nextAt(); t >= 0 {
+		add(t)
+	}
+	for i := range c.sb.entries {
+		if e := &c.sb.entries[i]; e.issued {
+			add(e.doneAt)
+		}
+	}
+	if c.fetchIdx < len(c.tr.Entries) && !c.fetchStalled {
+		add(c.fetchResumeAt)
+	}
+	if c.fqLen > 0 {
+		add(c.fq[c.fqHead].readyAt)
+	}
+	var head *inst
+	if !c.rob.empty() {
+		head = c.rob.front()
+		if head.reexecAt > 0 {
+			add(head.reexecAt)
+		}
+	}
+	if iv := c.cfg.InvalidationInterval; iv > 0 {
+		add(c.now + iv - c.now%iv)
+	}
+	if maxCycles > 0 {
+		add(maxCycles)
+	}
+	add(c.lastRetireAt + window + 1)
+
+	skipped := deadline - c.now - 1
+	if skipped <= 0 {
+		return
+	}
+	// The skipped cycles would each have ticked the same per-cycle stall
+	// counters this (stateless) cycle ticked: the conditions below are
+	// all functions of state that cannot change before the deadline.
+	if c.fetchIdx < len(c.tr.Entries) && (c.fetchStalled || c.now < c.fetchResumeAt) {
+		c.stats.FetchStallCycles += skipped
+	}
+	if head != nil && head.complete() {
+		switch {
+		case head.isLoad() && head.needReexec && (!c.sb.empty() || c.now < head.reexecAt):
+			c.stats.ReexecStallCycle += skipped
+		case head.isStore() && c.sb.full():
+			c.stats.SBFullStall += skipped
+		}
+	}
+	c.now = deadline - 1
 }
 
 // instBySeqGet returns the in-flight store with dynamic number seq, or
@@ -300,6 +387,7 @@ func newDistancePredictor(cfg config.Config) memdep.DistancePredictor {
 // §IV-F): a recently written cache line is invalidated; its words enter
 // the T-SSBF with SSNcommit+1 so vulnerable in-flight loads re-execute.
 func (c *Core) injectInvalidation() {
+	c.progress = true
 	if len(c.recentLines) == 0 {
 		return
 	}
@@ -367,6 +455,7 @@ func (c *Core) commitStores() {
 			if !c.rf.regs[e.dataPhys].ready {
 				return
 			}
+			c.progress = true
 			done := c.hier.Access(c.now, e.addr, true)
 			// Enforce in-order visibility behind older stores.
 			if done <= lastDone {
@@ -401,6 +490,7 @@ func (c *Core) commitStores() {
 		if c.sb.hasOlderSameWord(i) {
 			continue
 		}
+		c.progress = true
 		e.issued = true
 		e.doneAt = c.hier.Access(c.now, e.addr, true)
 		break
@@ -410,6 +500,7 @@ func (c *Core) commitStores() {
 // finishCommit applies entry i's bytes, releases its registers and
 // advances SSNcommit.
 func (c *Core) finishCommit(i int) {
+	c.progress = true
 	e := c.sb.entries[i]
 	c.image.Write(e.addr, e.size, e.value)
 	if c.trackInval {
@@ -468,6 +559,7 @@ func (c *Core) handleEvents() {
 		if u == nil {
 			return
 		}
+		c.progress = true
 		c.completeUop(u)
 	}
 }
@@ -633,6 +725,7 @@ func (c *Core) leaveIQ(u *uop) {
 // issueUop begins execution; returns true when the uop re-gated itself
 // (baseline loads discovering an unready forwarder).
 func (c *Core) issueUop(u *uop) bool {
+	c.progress = true
 	in := u.inst
 	c.leaveIQ(u)
 	u.parked = false
@@ -828,6 +921,7 @@ func (c *Core) mapAux(in *inst, l isa.Reg) int {
 }
 
 func (c *Core) renameOne(idx int, hist uint32) *inst {
+	c.progress = true
 	e := &c.tr.Entries[idx]
 	c.seqCounter++
 	in := c.allocInst()
@@ -919,6 +1013,7 @@ func (c *Core) fetch() {
 }
 
 func (c *Core) fqPush(fe fetchEntry) {
+	c.progress = true
 	c.fq[(c.fqHead+c.fqLen)&(fqCap-1)] = fe
 	c.fqLen++
 }
@@ -996,6 +1091,7 @@ func (c *Core) retireStore(in *inst) {
 // retireCommon updates architectural rename state, releases registers and
 // accounts statistics.
 func (c *Core) retireCommon(in *inst) {
+	c.progress = true
 	if in.destLog >= 0 {
 		old := c.rf.arat[in.destLog]
 		c.rf.arat[in.destLog] = in.destPhys
@@ -1077,6 +1173,7 @@ func (c *Core) accountLoad(in *inst) {
 // surviving store buffer references is equivalent at a full-window flush)
 // and refetches from refetchIdx.
 func (c *Core) flush(refetchIdx int) {
+	c.progress = true
 	// A flush squashes the whole window, so every reference to an
 	// in-flight instruction dies with it: the ready queue, delayed-load
 	// structure, event heap and register waiter lists hold only stale

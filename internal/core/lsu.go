@@ -484,6 +484,7 @@ func (c *Core) verifyLoad(in *inst) verifyResult {
 
 	if !in.verifyChecked {
 		in.verifyChecked = true
+		c.progress = true
 		ssn, tagMatch, covered := c.tssbf.LookupCovering(in.e.WordAddr(), in.e.BAB())
 		c.stats.TSSBFReads++
 		in.tssbfSSN, in.tssbfMatch, in.tssbfCovered = ssn, tagMatch, covered
@@ -505,6 +506,7 @@ func (c *Core) verifyLoad(in *inst) verifyResult {
 		if in.reexecAt == 0 {
 			in.reexecAt = c.hier.Access(c.now, in.e.Addr, false)
 			c.stats.CacheAccesses++
+			c.progress = true
 		}
 		if c.now < in.reexecAt {
 			c.stats.ReexecStallCycle++

@@ -15,6 +15,14 @@ import (
 // distance predictor (related work, §VII) and remote-core invalidation
 // traffic (§IV-F).
 
+// AblSilentPolicyRuns declares the silent-store ablation's simulations.
+func AblSilentPolicyRuns(r *Runner) []RunSpec {
+	return r.suite(
+		RunSpec{Cfg: config.Default(config.NoSQ), Label: "nosq"},
+		RunSpec{Cfg: config.Default(config.NoSQ).WithSilentStorePolicy(false), Label: "nosq-nosilent"},
+	)
+}
+
 // AblSilentPolicy compares NoSQ with and without the silent-store-aware
 // update. The paper: disabling it helps hmmer (fewer mispredictions) but
 // hurts the other benchmarks (more re-executions).
@@ -39,6 +47,16 @@ func AblSilentPolicy(r *Runner) (string, error) {
 	out += fmt.Sprintf("geomean aware/original: %s (paper: aware wins overall, loses on hmmer)\n",
 		stats.Pct(stats.Geomean(ratios)))
 	return out, nil
+}
+
+// AblBiasedConfidenceRuns declares the confidence ablation's simulations.
+func AblBiasedConfidenceRuns(r *Runner) []RunSpec {
+	balancedCfg := config.Default(config.DMDP)
+	balancedCfg.SDP.Biased = false
+	return r.suite(
+		RunSpec{Cfg: config.Default(config.DMDP), Label: "dmdp"},
+		RunSpec{Cfg: balancedCfg, Label: "dmdp-balanced"},
+	)
 }
 
 // AblBiasedConfidence compares DMDP with the biased (divide-by-two)
@@ -66,6 +84,16 @@ func AblBiasedConfidence(r *Runner) (string, error) {
 	out += fmt.Sprintf("geomean biased/balanced: %s (paper: fewer mispredictions at the cost of more predications)\n",
 		stats.Pct(stats.Geomean(ratios)))
 	return out, nil
+}
+
+// AblTAGERuns declares the TAGE ablation's simulations.
+func AblTAGERuns(r *Runner) []RunSpec {
+	return r.suite(
+		RunSpec{Cfg: config.Default(config.DMDP), Label: "dmdp"},
+		RunSpec{Cfg: config.Default(config.DMDP).WithTAGE(true), Label: "dmdp-tage"},
+		RunSpec{Cfg: config.Default(config.NoSQ), Label: "nosq"},
+		RunSpec{Cfg: config.Default(config.NoSQ).WithTAGE(true), Label: "nosq-tage"},
+	)
 }
 
 // AblTAGE swaps the two-table Store Distance Predictor for the TAGE-like
@@ -101,6 +129,14 @@ func AblTAGE(r *Runner) (string, error) {
 	return out, nil
 }
 
+// AblCoalescingRuns declares the coalescing ablation's simulations.
+func AblCoalescingRuns(r *Runner) []RunSpec {
+	return r.suite(
+		RunSpec{Cfg: config.Default(config.DMDP), Label: "dmdp"},
+		RunSpec{Cfg: config.Default(config.DMDP).WithCoalescing(false), Label: "dmdp-nocoalesce"},
+	)
+}
+
 // AblCoalescing disables TSO store coalescing: consecutive same-word
 // stores then occupy the commit port individually (§V mentions
 // coalescing alleviates write-port pressure).
@@ -126,12 +162,20 @@ func AblCoalescing(r *Runner) (string, error) {
 	return out, nil
 }
 
+// AblInvalidationsRuns declares the invalidation ablation's simulations.
+func AblInvalidationsRuns(r *Runner) []RunSpec {
+	return r.suite(
+		RunSpec{Cfg: config.Default(config.DMDP), Label: "dmdp"},
+		RunSpec{Cfg: config.Default(config.DMDP).WithInvalidations(ablInvalInterval), Label: "dmdp-inval"},
+	)
+}
+
 // AblInvalidations injects remote-core cache line invalidations (§IV-F):
 // invalidated words enter the T-SSBF with SSNcommit+1, forcing vulnerable
 // in-flight loads to re-execute. DMDP and NoSQ both absorb the traffic
 // without correctness loss; the cost is extra re-executions.
 func AblInvalidations(r *Runner) (string, error) {
-	const interval = 2000 // cycles between injected invalidations
+	const interval = ablInvalInterval
 	t := stats.NewTable(fmt.Sprintf("Ablation: remote invalidations every %d cycles (DMDP)", interval),
 		"bench", "quiet IPC", "noisy IPC", "invals", "reexec-quiet", "reexec-noisy")
 	var ratios []float64
@@ -152,6 +196,18 @@ func AblInvalidations(r *Runner) (string, error) {
 	fmt.Fprintf(&out, "geomean noisy/quiet: %s (consistency traffic costs re-executions, never correctness)\n",
 		stats.Pct(stats.Geomean(ratios)))
 	return out.String(), nil
+}
+
+// ablInvalInterval is the injected invalidation period (cycles) shared
+// by AblInvalidations and its Runs declaration.
+const ablInvalInterval = 2000
+
+// AblPrefetchRuns declares the prefetcher ablation's simulations.
+func AblPrefetchRuns(r *Runner) []RunSpec {
+	return r.suite(
+		RunSpec{Cfg: config.Default(config.DMDP), Label: "dmdp"},
+		RunSpec{Cfg: config.Default(config.DMDP).WithPrefetch(true), Label: "dmdp-prefetch"},
+	)
 }
 
 // AblPrefetch measures the interaction between a next-line L1 prefetcher

@@ -147,6 +147,116 @@ func TestExperimentsByteIdenticalAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestLabelIsDisplayOnly is the label-aliasing guard: results are keyed
+// by configuration digest, so two different machines submitted under the
+// same label must produce distinct cached results, and the same machine
+// under two labels must share one simulation.
+func TestLabelIsDisplayOnly(t *testing.T) {
+	r := smallRunner()
+	a, err := r.Run("perl", config.Default(config.DMDP), "dmdp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("perl", config.Default(config.DMDP).WithStoreBuffer(16), "dmdp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different configs under one label aliased to one cached run")
+	}
+	if a.Cycles == b.Cycles && a.SBFullStall == b.SBFullStall {
+		t.Fatal("different machines produced identical stats; digest keying suspect")
+	}
+	c, err := r.Run("perl", config.Default(config.DMDP), "dmdp-alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("identical configs under different labels must share one cached run")
+	}
+}
+
+// TestWarmUpCoversAllRenders checks every experiment's Runs declaration:
+// after a WarmUp over all experiments, rendering them must hit only warm
+// cache (no further simulations).
+func TestWarmUpCoversAllRenders(t *testing.T) {
+	r := smallRunner()
+	if err := r.WarmUp(All()...); err != nil {
+		t.Fatal(err)
+	}
+	warm := r.sims.Load()
+	for _, e := range All() {
+		if e.Runs == nil {
+			t.Errorf("%s: no Runs declaration", e.ID)
+		}
+		if _, err := e.Run(r); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+	}
+	if got := r.sims.Load(); got != warm {
+		t.Errorf("rendering simulated %d undeclared runs; every run must be declared in Runs()", got-warm)
+	}
+}
+
+// TestDigestDedupAcrossExperiments: the sb32 point of fig14 and the
+// prf320 points of alt-prf160 describe the default machines, so the
+// digest-keyed cache must fold them into the shared default runs.
+func TestDigestDedupAcrossExperiments(t *testing.T) {
+	r := smallRunner()
+	a, err := r.Run("perl", config.Default(config.DMDP).WithStoreBuffer(32), "dmdp-sb32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunModel("perl", config.DMDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("dmdp-sb32 did not dedup against the default dmdp run")
+	}
+	if r.sims.Load() != 1 {
+		t.Fatalf("expected 1 simulation, got %d", r.sims.Load())
+	}
+}
+
+// TestParallelismDoesNotChangeOutput runs the reduced suite at -j 1 and
+// -j 8 and requires byte-identical experiment output and an identical
+// failure table: worker count and completion order must never leak into
+// results.
+func TestParallelismDoesNotChangeOutput(t *testing.T) {
+	render := func(jobs int) (map[string]string, string) {
+		r := NewRunner(Options{
+			Budget:     4000,
+			Benchmarks: []string{"perl", "hmmer", "milc", "wrf"},
+			Parallel:   true,
+			Jobs:       jobs,
+		})
+		if err := r.WarmUp(All()...); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(All()))
+		for _, e := range All() {
+			s, err := e.Run(r)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out[e.ID] = s
+		}
+		return out, r.FailureTable()
+	}
+	a, fa := render(1)
+	b, fb := render(8)
+	for _, e := range All() {
+		if a[e.ID] != b[e.ID] {
+			t.Errorf("%s: output differs between -j 1 and -j 8\n--- j1 ---\n%s\n--- j8 ---\n%s",
+				e.ID, a[e.ID], b[e.ID])
+		}
+	}
+	if fa != fb {
+		t.Errorf("failure table differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", fa, fb)
+	}
+}
+
 func TestDefaultOptionsFillIn(t *testing.T) {
 	r := NewRunner(Options{})
 	if r.opt.Budget != DefaultOptions().Budget {

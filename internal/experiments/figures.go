@@ -9,6 +9,9 @@ import (
 	"dmdp/internal/stats"
 )
 
+// Fig2Runs declares Figure 2's simulations: NoSQ on every proxy.
+func Fig2Runs(r *Runner) []RunSpec { return r.suite(modelSpec(config.NoSQ)) }
+
 // Fig2 reproduces Figure 2: how NoSQ loads obtain their values (Direct
 // access / Bypassing / Delayed access).
 func Fig2(r *Runner) (string, error) {
@@ -31,6 +34,9 @@ func Fig2(r *Runner) (string, error) {
 	}
 	return t.String(), nil
 }
+
+// Fig3Runs declares Figure 3's simulations: NoSQ on every proxy.
+func Fig3Runs(r *Runner) []RunSpec { return r.suite(modelSpec(config.NoSQ)) }
 
 // Fig3 reproduces Figure 3: mean execution time of Delayed-access loads
 // relative to Bypassing loads under NoSQ. Ratios above 1 mean delayed
@@ -62,6 +68,9 @@ func Fig3(r *Runner) (string, error) {
 	return out, nil
 }
 
+// Fig5Runs declares Figure 5's simulations: DMDP on every proxy.
+func Fig5Runs(r *Runner) []RunSpec { return r.suite(modelSpec(config.DMDP)) }
+
 // Fig5 reproduces Figure 5: ground-truth outcomes of low-confidence load
 // predictions under DMDP — IndepStore should dominate everywhere.
 func Fig5(r *Runner) (string, error) {
@@ -91,6 +100,12 @@ func Fig5(r *Runner) (string, error) {
 			100*indepTot/allTot)
 	}
 	return out, nil
+}
+
+// Fig12Runs declares Figure 12's simulations: the four default models.
+func Fig12Runs(r *Runner) []RunSpec {
+	return r.suite(modelSpec(config.Baseline), modelSpec(config.NoSQ),
+		modelSpec(config.DMDP), modelSpec(config.Perfect))
 }
 
 // Fig12 reproduces Figure 12: IPC of NoSQ, DMDP and Perfect normalized to
@@ -147,6 +162,20 @@ func Fig12(r *Runner) (string, error) {
 	}
 	b.WriteString("paper: nosq 0.975/1.008, dmdp 1.045/1.053, perfect 1.068/1.066; dmdp over nosq +7.17% Int, +4.48% FP\n")
 	return b.String(), nil
+}
+
+// Fig14Runs declares Figure 14's simulations: the DMDP store-buffer
+// sweep. (The 32-entry point is the default DMDP machine, so the digest
+// cache folds it into the shared "dmdp" run.)
+func Fig14Runs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	for _, n := range []int{16, 32, 64} {
+		specs = append(specs, RunSpec{
+			Cfg:   config.Default(config.DMDP).WithStoreBuffer(n),
+			Label: fmt.Sprintf("dmdp-sb%d", n),
+		})
+	}
+	return r.suite(specs...)
 }
 
 // Fig14 reproduces Figure 14: DMDP with 32- and 64-entry store buffers
@@ -209,6 +238,12 @@ func Fig14(r *Runner) (string, error) {
 	}
 	b.WriteString("paper: +2.07%/+2.77% Int, +3.81%/+5.01% FP; lbm most sensitive\n")
 	return b.String(), nil
+}
+
+// Fig15Runs declares Figure 15's simulations: NoSQ and DMDP (the power
+// model evaluates on their cached stats).
+func Fig15Runs(r *Runner) []RunSpec {
+	return r.suite(modelSpec(config.NoSQ), modelSpec(config.DMDP))
 }
 
 // Fig15 reproduces Figure 15: DMDP's energy-delay product normalized to

@@ -8,6 +8,12 @@ import (
 	"dmdp/internal/stats"
 )
 
+// AltFnFRuns declares the Fire-and-Forget comparison's simulations.
+func AltFnFRuns(r *Runner) []RunSpec {
+	return r.suite(modelSpec(config.Baseline), modelSpec(config.FnF),
+		modelSpec(config.NoSQ), modelSpec(config.DMDP))
+}
+
 // AltFnF compares the three store-queue-free designs: NoSQ (load-side
 // path-sensitive prediction), FnF (store-side, path-insensitive
 // prediction) and DMDP. The paper chose NoSQ over Fire-and-Forget

@@ -3,15 +3,19 @@
 // the paper reports; cmd/experiments drives them all and EXPERIMENTS.md
 // records paper-vs-measured values. Traces and simulation results are
 // cached so experiments sharing runs (most of them share the four default
-// model runs) do not repeat work.
+// model runs) do not repeat work. Results are keyed by the configuration's
+// content digest, not by label, so two experiments that describe the same
+// machine under different names share one simulation.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dmdp/internal/config"
 	"dmdp/internal/core"
@@ -31,27 +35,68 @@ type Options struct {
 	// Parallel runs benchmarks concurrently (deterministic results;
 	// scheduling only affects wall clock).
 	Parallel bool
+	// Jobs is the worker-pool width for parallel warm-up (0 =
+	// GOMAXPROCS). Ignored when Parallel is false.
+	Jobs int
 }
 
 // DefaultOptions runs the full suite at 300k instructions per proxy.
 func DefaultOptions() Options { return Options{Budget: 300_000, Parallel: true} }
 
-// runResult caches one (benchmark, label) simulation outcome. Failures
-// are cached too (negative caching): a deterministic failure would fail
-// again, so experiments sharing the run all see the same error without
+// RunSpec names one simulation an experiment needs: a benchmark, the
+// machine configuration, and the display label its tables use. Two specs
+// with equal (Bench, Cfg.Digest()) describe the same run regardless of
+// label.
+type RunSpec struct {
+	Bench string
+	Cfg   config.Config
+	Label string
+}
+
+// runKey identifies a simulation in the result cache. Labels are
+// display-only; the digest covers every Config field, so distinct
+// machines never alias and identical machines always share.
+type runKey struct {
+	bench  string
+	digest config.Digest
+	budget int64
+}
+
+// runResult is one completed (or failed) simulation. Failures are cached
+// too (negative caching): a deterministic failure would fail again, so
+// experiments sharing the run all see the same error without
 // re-simulating — and without consuming the retry a second time.
 type runResult struct {
-	st  *core.Stats
+	st         *core.Stats
+	err        error // bare cause; labels are attached per caller
+	panicked   bool
+	retried    bool
+	diagnostic string
+}
+
+// runCall is an in-flight or completed simulation (inline singleflight):
+// the first caller executes, every later caller with the same key waits
+// on wg and shares the result.
+type runCall struct {
+	wg  sync.WaitGroup
+	res runResult
+}
+
+// traceCall is the singleflight slot for one proxy's trace build.
+type traceCall struct {
+	wg  sync.WaitGroup
+	tr  *trace.Trace
 	err error
 }
 
 // Runner caches traces and simulation results across experiments.
 type Runner struct {
-	opt Options
+	opt  Options
+	sims atomic.Int64 // actual core executions (not cache hits)
 
 	mu       sync.Mutex
-	traces   map[string]*trace.Trace
-	results  map[string]runResult
+	traces   map[string]*traceCall
+	calls    map[runKey]*runCall
 	failures []Failure
 }
 
@@ -64,9 +109,9 @@ func NewRunner(opt Options) *Runner {
 		opt.Benchmarks = workload.Names()
 	}
 	return &Runner{
-		opt:     opt,
-		traces:  make(map[string]*trace.Trace),
-		results: make(map[string]runResult),
+		opt:    opt,
+		traces: make(map[string]*traceCall),
+		calls:  make(map[runKey]*runCall),
 	}
 }
 
@@ -86,73 +131,122 @@ func (r *Runner) filterClass(c workload.Class) []string {
 	return out
 }
 
-// Trace returns (building and caching) the proxy's analyzed trace.
-func (r *Runner) Trace(name string) (*trace.Trace, error) {
-	r.mu.Lock()
-	tr, ok := r.traces[name]
-	r.mu.Unlock()
-	if ok {
-		return tr, nil
+// jobs returns the effective worker-pool width.
+func (r *Runner) jobs() int {
+	if !r.opt.Parallel {
+		return 1
 	}
-	s, ok := workload.Get(name)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	if r.opt.Jobs > 0 {
+		return r.opt.Jobs
 	}
-	tr, err := s.BuildTrace(r.opt.Budget)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.traces[name] = tr
-	r.mu.Unlock()
-	return tr, nil
+	return runtime.GOMAXPROCS(0)
 }
 
-// Run simulates the benchmark under cfg, caching by (benchmark, label).
-// A failed run (error or panic) is retried once with the pipeline tracer
-// attached; if it fails again the failure is cached and recorded (see
-// Failures) so the rest of the suite proceeds without it.
-func (r *Runner) Run(name string, cfg config.Config, label string) (*core.Stats, error) {
-	key := name + "/" + label
+// Trace returns (building and caching) the proxy's analyzed trace. Builds
+// are deduplicated: concurrent callers for the same proxy share one
+// build.
+func (r *Runner) Trace(name string) (*trace.Trace, error) {
 	r.mu.Lock()
-	res, ok := r.results[key]
-	r.mu.Unlock()
+	c, ok := r.traces[name]
 	if ok {
-		return res.st, res.err
+		r.mu.Unlock()
+		c.wg.Wait()
+		return c.tr, c.err
 	}
+	c = &traceCall{}
+	c.wg.Add(1)
+	r.traces[name] = c
+	r.mu.Unlock()
+
+	if s, ok := workload.Get(name); ok {
+		c.tr, c.err = s.BuildTrace(r.opt.Budget)
+	} else {
+		c.err = fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	c.wg.Done()
+	return c.tr, c.err
+}
+
+// traceLen returns the entry count of an already-built trace (0 when the
+// build failed or never ran). Used for longest-trace-first scheduling.
+func (r *Runner) traceLen(name string) int {
+	r.mu.Lock()
+	c, ok := r.traces[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	c.wg.Wait()
+	if c.tr == nil {
+		return 0
+	}
+	return len(c.tr.Entries)
+}
+
+// Run simulates the benchmark under cfg, caching by (benchmark, config
+// digest, budget) — the label only names the run in tables and failure
+// rows. Concurrent callers requesting the same machine share one
+// simulation. A failed run (error or panic) is retried once with the
+// pipeline tracer attached; if it fails again the failure is cached and
+// recorded (see Failures) so the rest of the suite proceeds without it.
+func (r *Runner) Run(name string, cfg config.Config, label string) (*core.Stats, error) {
+	key := runKey{bench: name, digest: cfg.Digest(), budget: r.opt.Budget}
+	r.mu.Lock()
+	c, ok := r.calls[key]
+	if ok {
+		r.mu.Unlock()
+		c.wg.Wait()
+		return r.deliver(name, label, c.res)
+	}
+	c = &runCall{}
+	c.wg.Add(1)
+	r.calls[key] = c
+	r.mu.Unlock()
+
+	c.res = r.execute(name, cfg)
+	c.wg.Done()
+	return r.deliver(name, label, c.res)
+}
+
+// execute performs the uncached simulation (trace build, run, one traced
+// retry on failure).
+func (r *Runner) execute(name string, cfg config.Config) runResult {
 	tr, err := r.Trace(name)
 	if err != nil {
-		wrapped := fmt.Errorf("experiments: %s (%s): %w", name, label, err)
-		r.cacheResult(key, runResult{err: wrapped})
-		r.recordFailure(Failure{Bench: name, Label: label, Err: err})
-		return nil, wrapped
+		return runResult{err: err}
 	}
+	r.sims.Add(1)
 	st, runErr, panicked := simulate(cfg, tr, false)
 	retried := false
 	if runErr != nil {
 		// Retry once, tracer attached: a transient failure recovers, a
 		// deterministic one is declared failed with diagnostics.
 		retried = true
+		r.sims.Add(1)
 		st, runErr, panicked = simulate(cfg, tr, true)
 	}
 	if runErr != nil {
-		wrapped := fmt.Errorf("experiments: %s (%s): %w", name, label, runErr)
-		r.cacheResult(key, runResult{err: wrapped})
-		r.recordFailure(Failure{
-			Bench: name, Label: label, Err: runErr,
-			Panicked: panicked, Retried: retried,
-			Diagnostic: diagnosticFor(runErr),
-		})
-		return nil, wrapped
+		return runResult{
+			err: runErr, panicked: panicked, retried: retried,
+			diagnostic: diagnosticFor(runErr),
+		}
 	}
-	r.cacheResult(key, runResult{st: st})
-	return st, nil
+	return runResult{st: st}
 }
 
-func (r *Runner) cacheResult(key string, res runResult) {
-	r.mu.Lock()
-	r.results[key] = res
-	r.mu.Unlock()
+// deliver converts a cached result into this caller's view: successes
+// pass through, failures are recorded under the caller's label (each
+// labelled use of a broken run gets its own failure row, deduplicated).
+func (r *Runner) deliver(name, label string, res runResult) (*core.Stats, error) {
+	if res.err != nil {
+		r.recordFailure(Failure{
+			Bench: name, Label: label, Err: res.err,
+			Panicked: res.panicked, Retried: res.retried,
+			Diagnostic: res.diagnostic,
+		})
+		return nil, fmt.Errorf("experiments: %s (%s): %w", name, label, res.err)
+	}
+	return res.st, nil
 }
 
 // simulate builds a core and runs it to completion, converting panics
@@ -192,37 +286,128 @@ func (r *Runner) RunModel(name string, m config.Model) (*core.Stats, error) {
 	return r.Run(name, config.Default(m), m.String())
 }
 
-// Prefetch warms the trace and default-model caches, in parallel when
-// configured. Results remain fully deterministic. Individual failures do
-// not abort the warm-up: they are negatively cached and recorded (see
-// Failures), and the experiments that wanted those runs skip them.
-func (r *Runner) Prefetch() error {
-	if !r.opt.Parallel {
-		return nil
-	}
-	type job struct {
-		bench string
-		model config.Model
-	}
-	var jobs []job
+// suite crosses the given labelled configurations with every active
+// benchmark (benchmark-major order, so one proxy's runs are adjacent).
+func (r *Runner) suite(specs ...RunSpec) []RunSpec {
+	out := make([]RunSpec, 0, len(specs)*len(r.opt.Benchmarks))
 	for _, b := range r.opt.Benchmarks {
-		for _, m := range []config.Model{config.Baseline, config.NoSQ, config.DMDP, config.Perfect} {
-			jobs = append(jobs, job{b, m})
+		for _, s := range specs {
+			s.Bench = b
+			out = append(out, s)
 		}
 	}
-	sem := make(chan struct{}, 8)
+	return out
+}
+
+// modelSpec is the default-configuration spec for a model.
+func modelSpec(m config.Model) RunSpec {
+	return RunSpec{Cfg: config.Default(m), Label: m.String()}
+}
+
+// WarmUp executes every run the selected experiments declare, on a
+// worker pool sized by Options (Jobs, or GOMAXPROCS; 1 when Parallel is
+// off). The union of run sets is deduplicated by configuration digest,
+// traces are built first, and specs are scheduled longest-trace-first so
+// the slowest proxies never straggle at the tail. Rendering the selected
+// experiments afterwards hits only warm cache. Individual failures do
+// not abort the warm-up: they are negatively cached and recorded (see
+// Failures), and an aggregate count is returned as an error.
+func (r *Runner) WarmUp(selected ...Experiment) error {
+	var specs []RunSpec
+	for _, e := range selected {
+		if e.Runs != nil {
+			specs = append(specs, e.Runs(r)...)
+		}
+	}
+	return r.warm(specs)
+}
+
+// Prefetch warms the trace and default-model caches (the runs most
+// experiments share) on the worker pool. Results remain fully
+// deterministic. Returns an aggregate error when any run failed.
+func (r *Runner) Prefetch() error {
+	return r.warm(r.suite(
+		modelSpec(config.Baseline), modelSpec(config.NoSQ),
+		modelSpec(config.DMDP), modelSpec(config.Perfect),
+	))
+}
+
+// warm deduplicates specs by run key (first-encounter label wins, which
+// keeps failure rows deterministic), builds the traces, then executes
+// the runs on the pool, longest trace first.
+func (r *Runner) warm(specs []RunSpec) error {
+	seen := make(map[runKey]bool, len(specs))
+	uniq := specs[:0]
+	var benches []string
+	seenBench := make(map[string]bool)
+	for _, s := range specs {
+		key := runKey{bench: s.Bench, digest: s.Cfg.Digest(), budget: r.opt.Budget}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		uniq = append(uniq, s)
+		if !seenBench[s.Bench] {
+			seenBench[s.Bench] = true
+			benches = append(benches, s.Bench)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+
+	// Traces first: they gate every run of their proxy and their lengths
+	// drive the schedule.
+	r.forEachPooled(len(benches), func(i int) {
+		r.Trace(benches[i])
+	})
+
+	// Longest trace first; stable sort keeps first-encounter order for
+	// equal lengths, so the schedule is deterministic.
+	sort.SliceStable(uniq, func(i, j int) bool {
+		return r.traceLen(uniq[i].Bench) > r.traceLen(uniq[j].Bench)
+	})
+
+	var failed atomic.Int64
+	r.forEachPooled(len(uniq), func(i int) {
+		if _, err := r.Run(uniq[i].Bench, uniq[i].Cfg, uniq[i].Label); err != nil {
+			failed.Add(1)
+		}
+	})
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("experiments: %d of %d warm-up runs failed (see the failure table)", n, len(uniq))
+	}
+	return nil
+}
+
+// forEachPooled runs f(0..n-1) on the runner's worker pool.
+func (r *Runner) forEachPooled(n int, f func(i int)) {
+	jobs := r.jobs()
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for _, j := range jobs {
+	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func(j job) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r.RunModel(j.bench, j.model)
-		}(j)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
 	}
 	wg.Wait()
-	return nil
 }
 
 // Energy evaluates the power model for a cached run.
@@ -234,37 +419,41 @@ func (r *Runner) Energy(name string, m config.Model) (power.Result, error) {
 	return power.Compute(st, power.DefaultParams()), nil
 }
 
-// Experiment identifies one reproducible artifact.
+// Experiment identifies one reproducible artifact. Runs declares the
+// experiment's full simulation set up front so the runner can execute
+// the union across experiments on the worker pool before any rendering
+// starts; Run then renders from warm cache.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func(r *Runner) (string, error)
+	Runs  func(r *Runner) []RunSpec
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig2", "Figure 2: NoSQ load instruction distribution", Fig2},
-		{"fig3", "Figure 3: delayed vs bypassing load execution time (NoSQ)", Fig3},
-		{"fig5", "Figure 5: low-confidence load prediction outcomes (DMDP)", Fig5},
-		{"fig12", "Figure 12: speedup over the baseline", Fig12},
-		{"fig14", "Figure 14: store buffer size sweep (DMDP)", Fig14},
-		{"fig15", "Figure 15: EDP of DMDP normalized to NoSQ", Fig15},
-		{"tab4", "Table IV: average execution time of all loads", TableIV},
-		{"tab5", "Table V: average execution time of low-confidence loads", TableV},
-		{"tab6", "Table VI: memory dependence mispredictions (MPKI)", TableVI},
-		{"tab7", "Table VII: re-execution stall cycles per 1k instructions", TableVII},
-		{"alt-issue4", "§VI-g: 4-issue width", AltIssue4},
-		{"alt-rob512", "§VI-g: 512-entry ROB", AltROB512},
-		{"alt-rmo", "§VI-g: RMO consistency", AltRMO},
-		{"alt-prf160", "§VI-f: halved physical register file", AltPRF160},
-		{"abl-silent", "Ablation: silent-store-aware predictor update (§VI-a)", AblSilentPolicy},
-		{"abl-biased", "Ablation: biased vs balanced confidence (§IV-E)", AblBiasedConfidence},
-		{"abl-tage", "Ablation: TAGE-like store distance predictor (§VII)", AblTAGE},
-		{"abl-coalesce", "Ablation: store coalescing (§V)", AblCoalescing},
-		{"abl-inval", "Ablation: remote invalidation traffic (§IV-F)", AblInvalidations},
-		{"alt-fnf", "Alt: Fire-and-Forget comparison (§VII)", AltFnF},
-		{"abl-prefetch", "Ablation: next-line L1 prefetcher", AblPrefetch},
+		{"fig2", "Figure 2: NoSQ load instruction distribution", Fig2, Fig2Runs},
+		{"fig3", "Figure 3: delayed vs bypassing load execution time (NoSQ)", Fig3, Fig3Runs},
+		{"fig5", "Figure 5: low-confidence load prediction outcomes (DMDP)", Fig5, Fig5Runs},
+		{"fig12", "Figure 12: speedup over the baseline", Fig12, Fig12Runs},
+		{"fig14", "Figure 14: store buffer size sweep (DMDP)", Fig14, Fig14Runs},
+		{"fig15", "Figure 15: EDP of DMDP normalized to NoSQ", Fig15, Fig15Runs},
+		{"tab4", "Table IV: average execution time of all loads", TableIV, TableIVRuns},
+		{"tab5", "Table V: average execution time of low-confidence loads", TableV, TableVRuns},
+		{"tab6", "Table VI: memory dependence mispredictions (MPKI)", TableVI, TableVIRuns},
+		{"tab7", "Table VII: re-execution stall cycles per 1k instructions", TableVII, TableVIIRuns},
+		{"alt-issue4", "§VI-g: 4-issue width", AltIssue4, AltIssue4Runs},
+		{"alt-rob512", "§VI-g: 512-entry ROB", AltROB512, AltROB512Runs},
+		{"alt-rmo", "§VI-g: RMO consistency", AltRMO, AltRMORuns},
+		{"alt-prf160", "§VI-f: halved physical register file", AltPRF160, AltPRF160Runs},
+		{"abl-silent", "Ablation: silent-store-aware predictor update (§VI-a)", AblSilentPolicy, AblSilentPolicyRuns},
+		{"abl-biased", "Ablation: biased vs balanced confidence (§IV-E)", AblBiasedConfidence, AblBiasedConfidenceRuns},
+		{"abl-tage", "Ablation: TAGE-like store distance predictor (§VII)", AblTAGE, AblTAGERuns},
+		{"abl-coalesce", "Ablation: store coalescing (§V)", AblCoalescing, AblCoalescingRuns},
+		{"abl-inval", "Ablation: remote invalidation traffic (§IV-F)", AblInvalidations, AblInvalidationsRuns},
+		{"alt-fnf", "Alt: Fire-and-Forget comparison (§VII)", AltFnF, AltFnFRuns},
+		{"abl-prefetch", "Ablation: next-line L1 prefetcher", AblPrefetch, AblPrefetchRuns},
 	}
 }
 

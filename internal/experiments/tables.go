@@ -8,6 +8,11 @@ import (
 	"dmdp/internal/stats"
 )
 
+// TableIVRuns declares Table IV's simulations: Baseline and DMDP.
+func TableIVRuns(r *Runner) []RunSpec {
+	return r.suite(modelSpec(config.Baseline), modelSpec(config.DMDP))
+}
+
 // TableIV reproduces Table IV: average execution time (cycles between
 // rename and the result becoming available) of all loads, baseline vs
 // DMDP. The paper saves >20% on average, with wrf and bzip2 halved.
@@ -37,6 +42,11 @@ func TableIV(r *Runner) (string, error) {
 	mb, md := stats.Mean(base), stats.Mean(dm)
 	out += fmt.Sprintf("average: baseline %.2f, dmdp %.2f (paper: 39.31 vs 31.15; saving >20%%)\n", mb, md)
 	return out, nil
+}
+
+// TableVRuns declares Table V's simulations: NoSQ and DMDP.
+func TableVRuns(r *Runner) []RunSpec {
+	return r.suite(modelSpec(config.NoSQ), modelSpec(config.DMDP))
 }
 
 // TableV reproduces Table V: average execution time of the
@@ -71,6 +81,11 @@ func TableV(r *Runner) (string, error) {
 	return out, nil
 }
 
+// TableVIRuns declares Table VI's simulations: NoSQ and DMDP.
+func TableVIRuns(r *Runner) []RunSpec {
+	return r.suite(modelSpec(config.NoSQ), modelSpec(config.DMDP))
+}
+
 // TableVI reproduces Table VI: memory dependence mispredictions per 1k
 // instructions. DMDP generally has fewer than NoSQ (biased confidence)
 // except where distances churn (bzip2).
@@ -95,6 +110,11 @@ func TableVI(r *Runner) (string, error) {
 	out += fmt.Sprintf("mean MPKI: nosq %.2f, dmdp %.2f (paper: hmmer 3.06 vs 1.03; bzip2 inverted)\n",
 		stats.Mean(n), stats.Mean(d))
 	return out, nil
+}
+
+// TableVIIRuns declares Table VII's simulations: NoSQ and DMDP.
+func TableVIIRuns(r *Runner) []RunSpec {
+	return r.suite(modelSpec(config.NoSQ), modelSpec(config.DMDP))
 }
 
 // TableVII reproduces Table VII: retire-stall cycles from load
@@ -158,6 +178,22 @@ func (r *Runner) relGeomeans(label string, cfgOf func(config.Model) config.Confi
 	return out.String(), nil
 }
 
+// altRuns builds the Runs declaration for a relGeomeans alternative:
+// NoSQ and DMDP under the transformed configuration, on every proxy.
+func altRuns(label string, cfgOf func(config.Model) config.Config) func(*Runner) []RunSpec {
+	return func(r *Runner) []RunSpec {
+		return r.suite(
+			RunSpec{Cfg: cfgOf(config.NoSQ), Label: "nosq-" + label},
+			RunSpec{Cfg: cfgOf(config.DMDP), Label: "dmdp-" + label},
+		)
+	}
+}
+
+// AltIssue4Runs declares the 4-issue alternative's simulations.
+var AltIssue4Runs = altRuns("4w", func(m config.Model) config.Config {
+	return config.Default(m).WithIssueWidth(4)
+})
+
 // AltIssue4 reproduces the 4-issue alternative (§VI-g): the DMDP-over-NoSQ
 // gain shrinks (paper: +4.56% Int, +2.41% FP).
 func AltIssue4(r *Runner) (string, error) {
@@ -169,6 +205,11 @@ func AltIssue4(r *Runner) (string, error) {
 	}
 	return "Alt: 4-issue width (paper: +4.56% Int, +2.41% FP)\n" + out, nil
 }
+
+// AltROB512Runs declares the 512-entry ROB alternative's simulations.
+var AltROB512Runs = altRuns("rob512", func(m config.Model) config.Config {
+	return config.Default(m).WithROB(512)
+})
 
 // AltROB512 reproduces the 512-entry ROB alternative (§VI-g): the gain
 // grows (paper: +7.56% Int, +6.35% FP).
@@ -182,6 +223,11 @@ func AltROB512(r *Runner) (string, error) {
 	return "Alt: 512-entry ROB (paper: +7.56% Int, +6.35% FP)\n" + out, nil
 }
 
+// AltRMORuns declares the RMO alternative's simulations.
+var AltRMORuns = altRuns("rmo", func(m config.Model) config.Config {
+	return config.Default(m).WithConsistency(config.RMO)
+})
+
 // AltRMO reproduces the relaxed memory order alternative (§VI-g): gains
 // similar to TSO (paper: +7.67% Int, +4.08% FP).
 func AltRMO(r *Runner) (string, error) {
@@ -192,6 +238,21 @@ func AltRMO(r *Runner) (string, error) {
 		return "", err
 	}
 	return "Alt: RMO consistency (paper: +7.67% Int, +4.08% FP)\n" + out, nil
+}
+
+// AltPRF160Runs declares the register-file-pressure simulations:
+// Baseline and DMDP at 320 and 160 physical registers. (The 320-register
+// points are the default machines, so the digest cache folds them into
+// the shared "baseline"/"dmdp" runs.)
+func AltPRF160Runs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	for _, prf := range []int{320, 160} {
+		specs = append(specs,
+			RunSpec{Cfg: config.Default(config.Baseline).WithPhysRegs(prf), Label: fmt.Sprintf("baseline-prf%d", prf)},
+			RunSpec{Cfg: config.Default(config.DMDP).WithPhysRegs(prf), Label: fmt.Sprintf("dmdp-prf%d", prf)},
+		)
+	}
+	return r.suite(specs...)
 }
 
 // AltPRF160 reproduces the register file pressure experiment (§VI-f):
