@@ -5,17 +5,24 @@
 //
 //	dmdpsim -bench hmmer -model dmdp -instr 300000
 //	dmdpsim -file prog.s -model nosq
+//	dmdpsim -bench gcc -sample 10x1000+200
+//	dmdpsim -bench gcc -cache rw
 //	dmdpsim -list
 package main
 
 import (
+	"crypto/sha256"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"dmdp"
+	"dmdp/internal/artifact"
+	"dmdp/internal/cliutil"
 	"dmdp/internal/profiling"
 )
 
@@ -24,7 +31,7 @@ func main() {
 		benchName = flag.String("bench", "hmmer", "proxy benchmark name (see -list)")
 		file      = flag.String("file", "", "assembly file to run instead of a proxy benchmark")
 		modelName = flag.String("model", "dmdp", "model: baseline | nosq | dmdp | perfect | fnf")
-		instr     = flag.Int64("instr", 300_000, "instruction budget")
+		instr     = flag.String("instr", "300000", "instruction budget (accepts 300000, 300_000, 300k)")
 		sbSize    = flag.Int("sb", 0, "store buffer entries (0 = default 32)")
 		width     = flag.Int("width", 0, "issue width (0 = default 8)")
 		rob       = flag.Int("rob", 0, "ROB entries (0 = default 256)")
@@ -33,11 +40,13 @@ func main() {
 		list      = flag.Bool("list", false, "list proxy benchmarks and exit")
 		pipeview  = flag.Int("pipeview", 0, "render a pipeline view of the first N retired instructions")
 		src       = flag.Bool("source", false, "print the benchmark's generated assembly and exit")
+		sample    = flag.String("sample", "", "interval sampling: COUNTxLEN[+WARMUP] (e.g. 10x1000+200); prints sampled-vs-full IPC error")
 		maxCycles = flag.Int64("maxcycles", 0, "abort with a diagnostic after N simulated cycles (0 = unlimited)")
 		flipRate  = flag.Float64("flip", 0, "inject dependence-prediction flips at this rate (hardening demo)")
 		faultSeed = flag.Int64("faultseed", 1, "fault injector seed (with -flip)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file")
+		cache     = cliutil.RegisterCache(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -56,6 +65,20 @@ func main() {
 		fmt.Println("Float:  ", strings.Join(dmdp.FloatWorkloads(), " "))
 		return
 	}
+
+	budget, err := cliutil.ParseInstr(*instr)
+	if err != nil {
+		fatal(fmt.Errorf("-instr: %w", err))
+	}
+	store, err := cache.Open()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if line := store.Summary(); line != "" {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}()
 
 	model, err := parseModel(*modelName)
 	if err != nil {
@@ -93,30 +116,55 @@ func main() {
 		return
 	}
 
-	var tr *dmdp.Trace
+	// The workload's identity for the artifact cache is the SHA-256 of
+	// the bytes it is built from: the generated proxy source, or the raw
+	// -file contents (source or object alike).
+	var sourceHash [sha256.Size]byte
+	var fileData []byte
 	if *file != "" {
-		data, err := os.ReadFile(*file)
+		fileData, err = os.ReadFile(*file)
 		if err != nil {
 			fatal(err)
 		}
-		if len(data) >= 4 && string(data[:4]) == "DMO1" {
-			tr, err = dmdp.LoadObject(data, *instr)
-		} else {
-			tr, err = dmdp.BuildTrace(string(data), *instr)
-		}
-		if err != nil {
-			fatal(err)
-		}
+		sourceHash = sha256.Sum256(fileData)
 	} else {
-		var err error
-		tr, err = dmdp.BuildWorkloadTrace(*benchName, *instr)
+		s, err := dmdp.WorkloadSource(*benchName)
 		if err != nil {
 			fatal(err)
 		}
+		sourceHash = sha256.Sum256([]byte(s))
+	}
+	traceKey := artifact.TraceKey(sourceHash, budget)
+
+	// loadTrace builds the trace through the trace store: decode on hit,
+	// build + persist on miss.
+	loadTrace := func() *dmdp.Trace {
+		if tr, ok := store.LoadTrace(traceKey); ok {
+			return tr
+		}
+		var tr *dmdp.Trace
+		var err error
+		switch {
+		case *file != "" && len(fileData) >= 4 && string(fileData[:4]) == "DMO1":
+			tr, err = dmdp.LoadObject(fileData, budget)
+		case *file != "":
+			tr, err = dmdp.BuildTrace(string(fileData), budget)
+		default:
+			tr, err = dmdp.BuildWorkloadTrace(*benchName, budget)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		store.StoreTrace(traceKey, tr)
+		return tr
 	}
 
+	if *sample != "" {
+		runSampled(cfg, model, loadTrace(), *sample)
+		return
+	}
 	if *pipeview > 0 {
-		st, pt, err := dmdp.RunTraced(cfg, tr, *pipeview)
+		st, pt, err := dmdp.RunTraced(cfg, loadTrace(), *pipeview)
 		if err != nil {
 			fatal(err)
 		}
@@ -125,11 +173,114 @@ func main() {
 		printStats(model, st)
 		return
 	}
-	st, err := dmdp.Run(cfg, tr)
+
+	// Plain runs go through the result store. Fault-injected runs are
+	// deliberately never persisted: hardening demos should always
+	// exercise the real simulator.
+	useResults := store != nil && *flipRate == 0
+	var resultKey artifact.Key
+	if useResults {
+		resultKey = artifact.ResultKey(traceKey, cfg.Digest(), budget)
+		if st, path, ok := store.LoadStats(resultKey); ok {
+			if store.VerifyEnabled() {
+				fresh, err := dmdp.Run(cfg, loadTrace())
+				if err != nil {
+					fatal(err)
+				}
+				cb, fb := st.MarshalCanonical(), fresh.MarshalCanonical()
+				if string(cb) != string(fb) {
+					fatal(artifact.NewVerifyError(resultKey, path, workloadName(*benchName, *file), model.String(), cb, fb))
+				}
+			}
+			printStats(model, st)
+			return
+		}
+	}
+	st, err := dmdp.Run(cfg, loadTrace())
 	if err != nil {
 		fatal(err)
 	}
+	if useResults {
+		store.StoreStats(resultKey, st)
+	}
 	printStats(model, st)
+}
+
+func workloadName(bench, file string) string {
+	if file != "" {
+		return file
+	}
+	return bench
+}
+
+// runSampled exercises the interval-sampling methodology (paper §V):
+// simulate COUNT intervals of LEN entries (optionally preceded by WARMUP
+// warm-up entries each), combine by weight, and report the estimate's
+// error against the full run.
+func runSampled(cfg dmdp.Config, model dmdp.Model, tr *dmdp.Trace, spec string) {
+	count, length, warmup, err := parseSampleSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := dmdp.UniformSampling(len(tr.Entries), length, count)
+	if err != nil {
+		fatal(err)
+	}
+	plan = plan.WithWarmup(warmup)
+
+	full, err := dmdp.Run(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+	sampled, err := dmdp.RunSampled(cfg, tr, plan)
+	if err != nil {
+		fatal(err)
+	}
+
+	fullIPC := full.IPC()
+	errPct := 100 * (sampled.WeightedIPC - fullIPC) / fullIPC
+	fmt.Printf("model              %s\n", model)
+	fmt.Printf("sampling plan      %d x %d entries", count, length)
+	if warmup > 0 {
+		fmt.Printf(" (+%d warmup)", warmup)
+	}
+	fmt.Println()
+	fmt.Printf("sampled instrs     %d of %d (%.1f%%)\n",
+		sampled.TotalInstructions, full.Instructions,
+		100*float64(sampled.TotalInstructions)/float64(full.Instructions))
+	fmt.Printf("full IPC           %.4f\n", fullIPC)
+	fmt.Printf("sampled IPC        %.4f\n", sampled.WeightedIPC)
+	fmt.Printf("IPC error          %+.2f%%\n", errPct)
+	fmt.Printf("full MPKI          %.3f\n", full.MPKI())
+	fmt.Printf("sampled MPKI       %.3f\n", sampled.WeightedMPKI)
+}
+
+// parseSampleSpec parses COUNTxLEN[+WARMUP] (the x may also be a Unicode
+// multiplication sign; COUNT and LEN take the same forms as -instr).
+func parseSampleSpec(s string) (count, length, warmup int, err error) {
+	bad := func() (int, int, int, error) {
+		return 0, 0, 0, fmt.Errorf("bad -sample %q (want COUNTxLEN[+WARMUP], e.g. 10x1000+200)", s)
+	}
+	body := s
+	if i := strings.IndexByte(body, '+'); i >= 0 {
+		w, werr := strconv.Atoi(body[i+1:])
+		if werr != nil || w < 0 {
+			return bad()
+		}
+		warmup = w
+		body = body[:i]
+	}
+	sep := strings.IndexAny(body, "xX×")
+	if sep <= 0 {
+		return bad()
+	}
+	_, sepLen := utf8.DecodeRuneInString(body[sep:])
+	c, err1 := cliutil.ParseInstr(body[:sep])
+	l, err2 := cliutil.ParseInstr(body[sep+sepLen:])
+	if err1 != nil || err2 != nil || c > 1<<30 || l > 1<<30 {
+		return bad()
+	}
+	return int(c), int(l), warmup, nil
 }
 
 func parseModel(s string) (dmdp.Model, error) {

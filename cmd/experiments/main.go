@@ -17,13 +17,14 @@ import (
 	"strings"
 	"time"
 
+	"dmdp/internal/cliutil"
 	"dmdp/internal/experiments"
 	"dmdp/internal/profiling"
 )
 
 func main() {
 	var (
-		instr    = flag.String("instr", "300000", "instruction budget per proxy")
+		instr    = flag.String("instr", "300000", "instruction budget per proxy (accepts 300000, 300_000, 300k)")
 		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
@@ -32,6 +33,7 @@ func main() {
 		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file")
+		cache    = cliutil.RegisterCache(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -47,11 +49,15 @@ func main() {
 		return
 	}
 
-	var budget int64
-	if _, err := fmt.Sscan(*instr, &budget); err != nil || budget <= 0 {
-		fatal(fmt.Errorf("bad -instr %q", *instr))
+	budget, err := cliutil.ParseInstr(*instr)
+	if err != nil {
+		fatal(fmt.Errorf("-instr: %w", err))
 	}
-	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag}
+	store, err := cache.Open()
+	if err != nil {
+		fatal(err)
+	}
+	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag, Cache: store}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -107,6 +113,11 @@ func main() {
 		fmt.Println()
 		fmt.Println("==== failed benchmark runs ====")
 		fmt.Println(table)
+	}
+	// The cache summary goes to stderr: stdout must stay byte-identical
+	// across cold, warm and disabled caches.
+	if line := store.Summary(); line != "" {
+		fmt.Fprintln(os.Stderr, line)
 	}
 	// Flush profiles before the explicit failure exit (os.Exit skips
 	// deferred calls).

@@ -14,20 +14,35 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"dmdp"
+	"dmdp/internal/artifact"
+	"dmdp/internal/cliutil"
 )
 
 func main() {
 	var (
-		instr = flag.Int64("instr", 300_000, "instruction budget per proxy")
+		instr = flag.String("instr", "300000", "instruction budget per proxy (accepts 300000, 300_000, 300k)")
 		bench = flag.String("bench", "", "comma-separated proxy subset (default: all)")
+		cache = cliutil.RegisterCache(flag.CommandLine)
 	)
 	flag.Parse()
+
+	budget, err := cliutil.ParseInstr(*instr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsdigest: -instr:", err)
+		os.Exit(1)
+	}
+	store, err := cache.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsdigest:", err)
+		os.Exit(1)
+	}
 
 	benches := dmdp.Workloads()
 	if *bench != "" {
@@ -37,14 +52,14 @@ func main() {
 
 	bad := false
 	for _, b := range benches {
-		tr, err := dmdp.BuildWorkloadTrace(b, *instr)
+		tr, traceKey, err := buildTrace(store, b, budget)
 		if err != nil {
 			fmt.Printf("%-12s -        trace error: %v\n", b, err)
 			bad = true
 			continue
 		}
 		for _, m := range models {
-			st, err := dmdp.Run(dmdp.DefaultConfig(m), tr)
+			st, err := run(store, tr, traceKey, m, budget, b)
 			if err != nil {
 				fmt.Printf("%-12s %-8s error: %v\n", b, m, err)
 				bad = true
@@ -53,9 +68,61 @@ func main() {
 			fmt.Printf("%-12s %-8s %s\n", b, m, digest(st))
 		}
 	}
+	if line := store.Summary(); line != "" {
+		fmt.Fprintln(os.Stderr, line)
+	}
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// buildTrace fetches (or builds and persists) the proxy's trace through
+// the artifact store. The trace is lazy for result-store hits only in
+// the experiments runner; here the digest always needs the trace's
+// benchmarks simulated, so the trace is resolved up front.
+func buildTrace(store *artifact.Store, bench string, budget int64) (*dmdp.Trace, artifact.Key, error) {
+	src, err := dmdp.WorkloadSource(bench)
+	if err != nil {
+		return nil, artifact.Key{}, err
+	}
+	key := artifact.TraceKey(sha256.Sum256([]byte(src)), budget)
+	if tr, ok := store.LoadTrace(key); ok {
+		return tr, key, nil
+	}
+	tr, err := dmdp.BuildWorkloadTrace(bench, budget)
+	if err != nil {
+		return nil, artifact.Key{}, err
+	}
+	store.StoreTrace(key, tr)
+	return tr, key, nil
+}
+
+// run simulates one (proxy, model) pair through the result store. In
+// verify mode a hit is re-simulated and compared; a mismatch is a hard
+// error (and a non-zero exit).
+func run(store *artifact.Store, tr *dmdp.Trace, traceKey artifact.Key, m dmdp.Model, budget int64, bench string) (*dmdp.Stats, error) {
+	cfg := dmdp.DefaultConfig(m)
+	key := artifact.ResultKey(traceKey, cfg.Digest(), budget)
+	if st, path, ok := store.LoadStats(key); ok {
+		if !store.VerifyEnabled() {
+			return st, nil
+		}
+		fresh, err := dmdp.Run(cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		cb, fb := st.MarshalCanonical(), fresh.MarshalCanonical()
+		if string(cb) != string(fb) {
+			return nil, artifact.NewVerifyError(key, path, bench, m.String(), cb, fb)
+		}
+		return st, nil
+	}
+	st, err := dmdp.Run(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	store.StoreStats(key, st)
+	return st, nil
 }
 
 // digest renders every deterministic counter of one run. Field order is

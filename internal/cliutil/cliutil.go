@@ -1,0 +1,74 @@
+// Package cliutil holds flag helpers shared by the dmdp command-line
+// tools, so the three binaries parse identical syntax for identical
+// concepts (instruction budgets, artifact-cache configuration).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dmdp/internal/artifact"
+)
+
+// ParseInstr parses an instruction-budget flag. Accepted forms:
+// plain decimal ("300000"), Go-style underscore grouping ("300_000"),
+// and a decimal with a k/K (×1e3) or m/M (×1e6) suffix ("300k", "3M").
+// The budget must be positive.
+func ParseInstr(s string) (int64, error) {
+	in := strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(in, "k"), strings.HasSuffix(in, "K"):
+		mult, in = 1_000, in[:len(in)-1]
+	case strings.HasSuffix(in, "m"), strings.HasSuffix(in, "M"):
+		mult, in = 1_000_000, in[:len(in)-1]
+	}
+	digits := strings.ReplaceAll(in, "_", "")
+	// Reject forms ParseInt would take but we don't document, and
+	// degenerate grouping like "_300" or "300__000".
+	if digits == "" || strings.HasPrefix(in, "_") || strings.HasSuffix(in, "_") ||
+		strings.Contains(in, "__") || strings.ContainsAny(in, "+- ") {
+		return 0, fmt.Errorf("bad instruction budget %q", s)
+	}
+	n, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad instruction budget %q", s)
+	}
+	if n <= 0 || n > (1<<62)/mult {
+		return 0, fmt.Errorf("instruction budget %q out of range", s)
+	}
+	return n * mult, nil
+}
+
+// CacheFlags carries the artifact-cache flag values registered by
+// RegisterCache.
+type CacheFlags struct {
+	Mode string
+	Dir  string
+	Max  int64
+}
+
+// RegisterCache registers the -cache, -cachedir and -cachemax flags on
+// fs with the shared defaults (cache off; os.UserCacheDir()/dmdp; 2 GiB
+// cap).
+func RegisterCache(fs *flag.FlagSet) *CacheFlags {
+	c := &CacheFlags{}
+	fs.StringVar(&c.Mode, "cache", "off",
+		"persistent artifact cache: off | ro | rw | verify (verify re-simulates hits and fails on mismatch)")
+	fs.StringVar(&c.Dir, "cachedir", artifact.DefaultDir(), "artifact cache directory")
+	fs.Int64Var(&c.Max, "cachemax", artifact.DefaultMaxBytes,
+		"artifact cache size cap in bytes (LRU-evicted)")
+	return c
+}
+
+// Open opens the artifact store the flags describe (nil store when
+// -cache off).
+func (c *CacheFlags) Open() (*artifact.Store, error) {
+	mode, err := artifact.ParseMode(c.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return artifact.Open(c.Dir, mode, c.Max)
+}

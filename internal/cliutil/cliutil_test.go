@@ -1,0 +1,72 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestParseInstr(t *testing.T) {
+	good := map[string]int64{
+		"1":         1,
+		"300000":    300_000,
+		"300_000":   300_000,
+		"1_000_000": 1_000_000,
+		"300k":      300_000,
+		"300K":      300_000,
+		"3m":        3_000_000,
+		"3M":        3_000_000,
+		"1_5k":      15_000, // grouping is cosmetic, not positional
+		" 20000 ":   20_000,
+	}
+	for in, want := range good {
+		got, err := ParseInstr(in)
+		if err != nil || got != want {
+			t.Errorf("ParseInstr(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	bad := []string{
+		"", "0", "-5", "+5", "abc", "300kk", "k", "_300", "300_", "3__0",
+		"1.5k", "0x10", "300 000", "1e6", "-1k", "9223372036854775807k",
+	}
+	for _, in := range bad {
+		if n, err := ParseInstr(in); err == nil {
+			t.Errorf("ParseInstr(%q) = %d, want error", in, n)
+		}
+	}
+}
+
+func TestRegisterCacheDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := RegisterCache(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode != "off" || c.Dir == "" || c.Max <= 0 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+	s, err := c.Open()
+	if s != nil || err != nil {
+		t.Fatalf("off mode should open a nil store, got %v, %v", s, err)
+	}
+	if err := fs.Parse([]string{"-cache", "always"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open(); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestRegisterCacheRW(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := RegisterCache(fs)
+	if err := fs.Parse([]string{"-cache", "rw", "-cachedir", t.TempDir(), "-cachemax", "1000000"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Open()
+	if err != nil || s == nil {
+		t.Fatalf("Open: %v, %v", s, err)
+	}
+	if s.Mode().String() != "rw" {
+		t.Fatalf("mode %v", s.Mode())
+	}
+}

@@ -1073,7 +1073,7 @@ func (c *Core) retireStore(in *inst) {
 		ssn:      in.ssn,
 		idx:      in.idx,
 		addr:     e.Addr,
-		size:     e.Size,
+		size:     uint32(e.Size),
 		value:    e.Value,
 		dataPhys: in.dataPhys,
 		addrPhys: in.addrPhys,

@@ -74,10 +74,10 @@ func (c *Core) renameStoreFnF(in *inst) {
 func (c *Core) renameLoadFnF(in *inst) {
 	c.lsnRename++
 	in.lsn = c.lsnRename
-	if in.lsn != in.e.LoadSeq {
+	if in.lsn != in.e.LoadSeq() {
 		c.fail(&SimError{
 			Kind: ErrDesync, Idx: in.idx, PC: in.e.PC, Disasm: in.e.Instr.String(),
-			Msg: fmt.Sprintf("LSN desync: renamed load got %d, trace says %d", in.lsn, in.e.LoadSeq),
+			Msg: fmt.Sprintf("LSN desync: renamed load got %d, trace says %d", in.lsn, in.e.LoadSeq()),
 		})
 	}
 	d := in.e.Instr.Dest()

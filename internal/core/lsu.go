@@ -32,10 +32,10 @@ func (c *Core) renameStore(in *inst) {
 
 	c.ssn.Rename++
 	in.ssn = c.ssn.Rename
-	if in.ssn != e.StoreSeq {
+	if in.ssn != e.StoreSeq() {
 		c.fail(&SimError{
 			Kind: ErrDesync, Idx: in.idx, PC: e.PC, Disasm: e.Instr.String(),
-			Msg: fmt.Sprintf("SSN desync: renamed store got %d, trace says %d", in.ssn, e.StoreSeq),
+			Msg: fmt.Sprintf("SSN desync: renamed store got %d, trace says %d", in.ssn, e.StoreSeq()),
 		})
 	}
 	c.srb.add(srbEntry{ssn: in.ssn, idx: in.idx, dataPhys: in.dataPhys, addrPhys: in.addrPhys, inst: in})
@@ -327,7 +327,7 @@ func (c *Core) issueLoadBaseline(u *uop) bool {
 // ---------- completion ----------
 
 func (c *Core) readCacheValue(e *trace.Entry) uint32 {
-	return trace.ExtendLoad(e.Instr.Op, c.image.Read(e.Addr, e.Size))
+	return trace.ExtendLoad(e.Instr.Op, c.image.Read(e.Addr, uint32(e.Size)))
 }
 
 func (c *Core) completeLoadAccess(u *uop) {

@@ -234,11 +234,11 @@ func (c *Core) oracleRetireCheck(in *inst) {
 			return
 		}
 	case in.isStore():
-		if in.ssn != e.StoreSeq {
+		if in.ssn != e.StoreSeq() {
 			c.fail(&SimError{
 				Kind: ErrOracle, Idx: in.idx, PC: e.PC, Disasm: e.Instr.String(),
-				Got: uint32(in.ssn), Want: uint32(e.StoreSeq),
-				Msg: fmt.Sprintf("store retired SSN %d, trace says %d", in.ssn, e.StoreSeq),
+				Got: uint32(in.ssn), Want: uint32(e.StoreSeq()),
+				Msg: fmt.Sprintf("store retired SSN %d, trace says %d", in.ssn, e.StoreSeq()),
 			})
 			return
 		}

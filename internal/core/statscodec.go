@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// StatsSchemaVersion names the canonical Stats encoding below. It is part
+// of every result-store cache key (see internal/artifact), so bumping it
+// invalidates all persisted simulation results at once. Bump it whenever
+// a Stats field is added, removed, renamed, reordered or retyped —
+// TestStatsCodecCoversEveryField fails until the encoder and this
+// constant are updated together.
+const StatsSchemaVersion = 1
+
+// statsWireSize is the exact length of a canonical encoding: 78 int64
+// counters and 2 float64 rates (see MarshalCanonical for the field
+// order).
+const statsWireSize = 80 * 8
+
+// MarshalCanonical serializes the statistics into the canonical
+// little-endian form used by the persistent result store and by
+// determinism comparisons. The encoding is fixed-order and fixed-width —
+// no maps, no reflection — so equal statistics always produce identical
+// bytes. SimWallClockNS is deliberately excluded: it is the one Stats
+// field allowed to differ between behaviorally identical runs.
+func (s *Stats) MarshalCanonical() []byte {
+	buf := make([]byte, 0, statsWireSize)
+	i64 := func(v int64) { buf = binary.LittleEndian.AppendUint64(buf, uint64(v)) }
+	f64 := func(v float64) { buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)) }
+
+	i64(s.Cycles)
+	i64(s.Instructions)
+	i64(s.Uops)
+	for _, v := range s.LoadCount {
+		i64(v)
+	}
+	for _, v := range s.LoadExecTime {
+		i64(v)
+	}
+	for _, v := range s.LoadLatency {
+		i64(v)
+	}
+	i64(s.LowConfCount)
+	i64(s.LowConfExecTime)
+	for _, v := range s.LowConfOutcomes {
+		i64(v)
+	}
+	i64(s.DepMispredicts)
+	for _, v := range s.DepMispredictsByCat {
+		i64(v)
+	}
+	i64(s.Reexecs)
+	i64(s.ReexecStallCycle)
+	i64(s.SBFullStall)
+	i64(s.Predications)
+	i64(s.Cloaks)
+	i64(s.DelayedLoads)
+	i64(s.Violations)
+	i64(s.Invalidations)
+	i64(s.BranchMispredicts)
+	i64(s.FetchStallCycles)
+	i64(s.StoresCommitted)
+	i64(s.StoresCoalesced)
+	i64(s.RegReads)
+	i64(s.RegWrites)
+	i64(s.IQWakeups)
+	i64(s.IQInserts)
+	i64(s.ROBWrites)
+	i64(s.SQSearches)
+	i64(s.TSSBFReads)
+	i64(s.TSSBFWrites)
+	i64(s.SDPReads)
+	i64(s.SDPWrites)
+	i64(s.CacheAccesses)
+	i64(s.L2Accesses)
+	i64(s.DRAMAccesses)
+	i64(s.TLBAccesses)
+	i64(s.SquashedUops)
+	f64(s.L1MissRate)
+	f64(s.L2MissRate)
+	i64(s.OracleChecks)
+	i64(s.Faults.PredictionFlips)
+	i64(s.Faults.ForcedLowConf)
+	i64(s.Faults.PredicateCorruptions)
+	i64(s.Faults.LineInvalidations)
+	i64(s.Faults.ValueCorruptions)
+	return buf
+}
+
+// UnmarshalCanonicalStats decodes a canonical encoding produced by
+// MarshalCanonical. The length is checked exactly; a truncated or padded
+// buffer is rejected. SimWallClockNS decodes as 0 (the encoding excludes
+// it).
+func UnmarshalCanonicalStats(data []byte) (*Stats, error) {
+	if len(data) != statsWireSize {
+		return nil, fmt.Errorf("core: canonical stats length %d, want %d (schema v%d)",
+			len(data), statsWireSize, StatsSchemaVersion)
+	}
+	s := &Stats{}
+	off := 0
+	i64 := func() int64 {
+		v := int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		return v
+	}
+	f64 := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		return v
+	}
+
+	s.Cycles = i64()
+	s.Instructions = i64()
+	s.Uops = i64()
+	for i := range s.LoadCount {
+		s.LoadCount[i] = i64()
+	}
+	for i := range s.LoadExecTime {
+		s.LoadExecTime[i] = i64()
+	}
+	for i := range s.LoadLatency {
+		s.LoadLatency[i] = i64()
+	}
+	s.LowConfCount = i64()
+	s.LowConfExecTime = i64()
+	for i := range s.LowConfOutcomes {
+		s.LowConfOutcomes[i] = i64()
+	}
+	s.DepMispredicts = i64()
+	for i := range s.DepMispredictsByCat {
+		s.DepMispredictsByCat[i] = i64()
+	}
+	s.Reexecs = i64()
+	s.ReexecStallCycle = i64()
+	s.SBFullStall = i64()
+	s.Predications = i64()
+	s.Cloaks = i64()
+	s.DelayedLoads = i64()
+	s.Violations = i64()
+	s.Invalidations = i64()
+	s.BranchMispredicts = i64()
+	s.FetchStallCycles = i64()
+	s.StoresCommitted = i64()
+	s.StoresCoalesced = i64()
+	s.RegReads = i64()
+	s.RegWrites = i64()
+	s.IQWakeups = i64()
+	s.IQInserts = i64()
+	s.ROBWrites = i64()
+	s.SQSearches = i64()
+	s.TSSBFReads = i64()
+	s.TSSBFWrites = i64()
+	s.SDPReads = i64()
+	s.SDPWrites = i64()
+	s.CacheAccesses = i64()
+	s.L2Accesses = i64()
+	s.DRAMAccesses = i64()
+	s.TLBAccesses = i64()
+	s.SquashedUops = i64()
+	s.L1MissRate = f64()
+	s.L2MissRate = f64()
+	s.OracleChecks = i64()
+	s.Faults.PredictionFlips = i64()
+	s.Faults.ForcedLowConf = i64()
+	s.Faults.PredicateCorruptions = i64()
+	s.Faults.LineInvalidations = i64()
+	s.Faults.ValueCorruptions = i64()
+	return s, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dmdp/internal/faults"
+)
+
+// TestStatsCodecCoversEveryField recomputes the canonical wire size from
+// the Stats struct definition by reflection and compares it with the
+// hand-written encoder's output. Adding, removing or retyping a Stats
+// field changes the reflected size, fails this test, and forces the
+// encoder — and StatsSchemaVersion — to be updated together.
+func TestStatsCodecCoversEveryField(t *testing.T) {
+	want := 0
+	st := reflect.TypeOf(Stats{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Name == "SimWallClockNS" {
+			continue // excluded by design: wall clock is observability only
+		}
+		switch f.Type.Kind() {
+		case reflect.Int64, reflect.Float64:
+			want += 8
+		case reflect.Array:
+			if f.Type.Elem().Kind() != reflect.Int64 {
+				t.Fatalf("field %s: unsupported array element %s", f.Name, f.Type.Elem())
+			}
+			want += 8 * f.Type.Len()
+		case reflect.Struct:
+			if f.Type != reflect.TypeOf(faults.Counts{}) {
+				t.Fatalf("field %s: unsupported struct type %s", f.Name, f.Type)
+			}
+			want += 8 * f.Type.NumField()
+		default:
+			t.Fatalf("field %s: unsupported kind %s (extend the codec and bump StatsSchemaVersion)", f.Name, f.Type.Kind())
+		}
+	}
+	if want != statsWireSize {
+		t.Fatalf("Stats fields sum to %d wire bytes, encoder writes %d — update MarshalCanonical/UnmarshalCanonicalStats and bump StatsSchemaVersion", want, statsWireSize)
+	}
+	var s Stats
+	if got := len(s.MarshalCanonical()); got != statsWireSize {
+		t.Fatalf("MarshalCanonical wrote %d bytes, statsWireSize says %d", got, statsWireSize)
+	}
+}
+
+// fillStats populates every field with a distinct value so round-trip
+// mismatches cannot hide behind zeroes.
+func fillStats(t *testing.T) *Stats {
+	t.Helper()
+	s := &Stats{}
+	n := int64(1)
+	v := reflect.ValueOf(s).Elem()
+	var fill func(v reflect.Value)
+	fill = func(v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Int64:
+			v.SetInt(n)
+			n++
+		case reflect.Float64:
+			v.SetFloat(float64(n) / 7)
+			n++
+		case reflect.Array:
+			for i := 0; i < v.Len(); i++ {
+				fill(v.Index(i))
+			}
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				fill(v.Field(i))
+			}
+		default:
+			t.Fatalf("unsupported kind %s", v.Kind())
+		}
+	}
+	fill(v)
+	return s
+}
+
+func TestStatsCodecRoundTrip(t *testing.T) {
+	s := fillStats(t)
+	enc := s.MarshalCanonical()
+	dec, err := UnmarshalCanonicalStats(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wall clock is excluded from the encoding by design.
+	want := *s
+	want.SimWallClockNS = 0
+	if *dec != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *dec, want)
+	}
+	if !bytes.Equal(dec.MarshalCanonical(), enc) {
+		t.Fatal("encode -> decode -> encode is not byte-identical")
+	}
+}
+
+func TestStatsCodecRejectsBadLength(t *testing.T) {
+	s := fillStats(t)
+	enc := s.MarshalCanonical()
+	for _, n := range []int{0, 1, len(enc) - 1, len(enc) + 1} {
+		if _, err := UnmarshalCanonicalStats(enc[:min(n, len(enc))]); n <= len(enc) && err == nil {
+			t.Fatalf("length %d accepted", n)
+		}
+	}
+	padded := append(append([]byte(nil), enc...), 0)
+	if _, err := UnmarshalCanonicalStats(padded); err == nil {
+		t.Fatal("padded encoding accepted")
+	}
+}
+
+func TestStatsCodecExcludesWallClock(t *testing.T) {
+	a, b := fillStats(t), fillStats(t)
+	a.SimWallClockNS = 123
+	b.SimWallClockNS = 456789
+	if !bytes.Equal(a.MarshalCanonical(), b.MarshalCanonical()) {
+		t.Fatal("SimWallClockNS leaked into the canonical encoding")
+	}
+}

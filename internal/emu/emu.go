@@ -133,7 +133,7 @@ func (e *Emulator) Step() (trace.Entry, error) {
 		raw := e.Mem.Read(addr, size)
 		v := trace.ExtendLoad(in.Op, raw)
 		e.setReg(in.Rt, v)
-		ent.Addr, ent.Size, ent.Value = addr, size, v
+		ent.Addr, ent.Size, ent.Value = addr, uint8(size), v
 	case isa.OpSB, isa.OpSH, isa.OpSW:
 		addr := rs + uint32(in.Imm)
 		size := in.Op.MemBytes()
@@ -147,7 +147,7 @@ func (e *Emulator) Step() (trace.Entry, error) {
 		old := e.Mem.Read(addr, size)
 		ent.Silent = old == rt&mask
 		e.Mem.Write(addr, size, rt)
-		ent.Addr, ent.Size, ent.Value = addr, size, rt
+		ent.Addr, ent.Size, ent.Value = addr, uint8(size), rt
 	case isa.OpBEQ:
 		ent.Taken = rs == rt
 		next = e.branchTarget(in, ent.Taken)

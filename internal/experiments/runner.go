@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -17,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dmdp/internal/artifact"
 	"dmdp/internal/config"
 	"dmdp/internal/core"
 	"dmdp/internal/power"
@@ -38,6 +40,10 @@ type Options struct {
 	// Jobs is the worker-pool width for parallel warm-up (0 =
 	// GOMAXPROCS). Ignored when Parallel is false.
 	Jobs int
+	// Cache is the persistent artifact store (nil = in-memory caching
+	// only). Lookups go memory -> disk -> simulate; results of failed
+	// or fault-injected runs are never persisted.
+	Cache *artifact.Store
 }
 
 // DefaultOptions runs the full suite at 300k instructions per proxy.
@@ -89,6 +95,14 @@ type traceCall struct {
 	err error
 }
 
+// keyCall memoizes one benchmark's trace-store key (the SHA-256 of its
+// generated source is not free to recompute per run).
+type keyCall struct {
+	once sync.Once
+	key  artifact.Key
+	ok   bool
+}
+
 // Runner caches traces and simulation results across experiments.
 type Runner struct {
 	opt  Options
@@ -97,6 +111,7 @@ type Runner struct {
 	mu       sync.Mutex
 	traces   map[string]*traceCall
 	calls    map[runKey]*runCall
+	keys     map[string]*keyCall
 	failures []Failure
 }
 
@@ -112,7 +127,32 @@ func NewRunner(opt Options) *Runner {
 		opt:    opt,
 		traces: make(map[string]*traceCall),
 		calls:  make(map[runKey]*runCall),
+		keys:   make(map[string]*keyCall),
 	}
+}
+
+// Cache returns the persistent store the runner was built with (nil when
+// the cache is off).
+func (r *Runner) Cache() *artifact.Store { return r.opt.Cache }
+
+// traceKey returns the persistent trace-store key for a benchmark
+// (ok=false for unknown names). Keys are memoized: the underlying source
+// hash regenerates the proxy's assembly.
+func (r *Runner) traceKey(name string) (artifact.Key, bool) {
+	r.mu.Lock()
+	c, ok := r.keys[name]
+	if !ok {
+		c = &keyCall{}
+		r.keys[name] = c
+	}
+	r.mu.Unlock()
+	c.once.Do(func() {
+		if s, ok := workload.Get(name); ok {
+			c.key = artifact.TraceKey(s.SourceHash(), r.opt.Budget)
+			c.ok = true
+		}
+	})
+	return c.key, c.ok
 }
 
 // Benchmarks returns the active suite.
@@ -159,7 +199,18 @@ func (r *Runner) Trace(name string) (*trace.Trace, error) {
 	r.mu.Unlock()
 
 	if s, ok := workload.Get(name); ok {
-		c.tr, c.err = s.BuildTrace(r.opt.Budget)
+		key, kok := r.traceKey(name)
+		if kok {
+			if tr, hit := r.opt.Cache.LoadTrace(key); hit {
+				c.tr = tr
+			}
+		}
+		if c.tr == nil {
+			c.tr, c.err = s.BuildTrace(r.opt.Budget)
+			if c.err == nil && kok {
+				r.opt.Cache.StoreTrace(key, c.tr)
+			}
+		}
 	} else {
 		c.err = fmt.Errorf("experiments: unknown benchmark %q", name)
 	}
@@ -203,14 +254,28 @@ func (r *Runner) Run(name string, cfg config.Config, label string) (*core.Stats,
 	r.calls[key] = c
 	r.mu.Unlock()
 
-	c.res = r.execute(name, cfg)
+	c.res = r.execute(name, cfg, label)
 	c.wg.Done()
 	return r.deliver(name, label, c.res)
 }
 
-// execute performs the uncached simulation (trace build, run, one traced
-// retry on failure).
-func (r *Runner) execute(name string, cfg config.Config) runResult {
+// execute performs the out-of-memory-cache simulation: persistent result
+// store first (a hit skips even the trace build; in verify mode the hit
+// is re-simulated and compared), then trace build + run with one traced
+// retry on failure. Fault-injected configurations and failed runs are
+// never persisted.
+func (r *Runner) execute(name string, cfg config.Config, label string) runResult {
+	resultKey, keyed := r.traceKey(name)
+	persistable := keyed && !cfg.Faults.Enabled()
+	if persistable {
+		resultKey = artifact.ResultKey(resultKey, cfg.Digest(), r.opt.Budget)
+		if st, path, hit := r.opt.Cache.LoadStats(resultKey); hit {
+			if !r.opt.Cache.VerifyEnabled() {
+				return runResult{st: st}
+			}
+			return r.verifyHit(name, label, cfg, resultKey, path, st)
+		}
+	}
 	tr, err := r.Trace(name)
 	if err != nil {
 		return runResult{err: err}
@@ -231,7 +296,37 @@ func (r *Runner) execute(name string, cfg config.Config) runResult {
 			diagnostic: diagnosticFor(runErr),
 		}
 	}
+	if persistable {
+		r.opt.Cache.StoreStats(resultKey, st)
+	}
 	return runResult{st: st}
+}
+
+// verifyHit is the stale-artifact oracle (-cache verify): re-simulate a
+// result-store hit from scratch and compare canonical encodings. A
+// mismatch is a hard failure with a structured diagnostic — the cached
+// entry is stale or the simulator is nondeterministic. On success the
+// cached stats are returned (not the fresh ones), so verify-mode output
+// is byte-identical to a plain warm run.
+func (r *Runner) verifyHit(name, label string, cfg config.Config, key artifact.Key, path string, cached *core.Stats) runResult {
+	tr, err := r.Trace(name)
+	if err != nil {
+		return runResult{err: err}
+	}
+	r.sims.Add(1)
+	fresh, runErr, panicked := simulate(cfg, tr, false)
+	if runErr != nil {
+		return runResult{
+			err: runErr, panicked: panicked,
+			diagnostic: diagnosticFor(runErr),
+		}
+	}
+	cb, fb := cached.MarshalCanonical(), fresh.MarshalCanonical()
+	if !bytes.Equal(cb, fb) {
+		verr := artifact.NewVerifyError(key, path, name, label, cb, fb)
+		return runResult{err: verr, diagnostic: verr.Error()}
+	}
+	return runResult{st: cached}
 }
 
 // deliver converts a cached result into this caller's view: successes

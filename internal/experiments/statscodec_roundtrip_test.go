@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"dmdp/internal/config"
+	"dmdp/internal/core"
+)
+
+// TestStatsCanonicalRoundTripAllRuns is the cache-determinism oracle for
+// the persistent result store: for every proxy × every model, the
+// canonical Stats encoding must round-trip byte-identically
+// (encode → decode → encode) and must be stable across repeated
+// encodings of the same value. The encoder is map-free and fixed-order
+// by construction (see core.MarshalCanonical), so any map-iteration or
+// scheduling nondeterminism upstream would surface here as a byte
+// difference between encodings of equal stats.
+func TestStatsCanonicalRoundTripAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full proxy x model cross at a reduced budget")
+	}
+	models := []config.Model{
+		config.Baseline, config.NoSQ, config.DMDP, config.Perfect, config.FnF,
+	}
+	r := NewRunner(Options{Budget: 3_000, Parallel: true})
+	for _, bench := range r.Benchmarks() {
+		for _, m := range models {
+			st, err := r.RunModel(bench, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, m, err)
+			}
+			enc := st.MarshalCanonical()
+			if again := st.MarshalCanonical(); !bytes.Equal(enc, again) {
+				t.Fatalf("%s/%s: two encodings of the same stats differ", bench, m)
+			}
+			dec, err := core.UnmarshalCanonicalStats(enc)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", bench, m, err)
+			}
+			if reenc := dec.MarshalCanonical(); !bytes.Equal(enc, reenc) {
+				t.Fatalf("%s/%s: encode -> decode -> encode not byte-identical", bench, m)
+			}
+		}
+	}
+}

@@ -10,6 +10,10 @@ const (
 	pageMask  = pageSize - 1
 )
 
+// PageSize is the granularity of the sparse image, exported for
+// serializers that persist images page by page.
+const PageSize = pageSize
+
 // Image is a sparse 32-bit byte-addressable memory. The zero value is an
 // empty image; unwritten bytes read as zero.
 type Image struct {
@@ -127,3 +131,35 @@ func (m *Image) Clone() *Image {
 
 // Pages returns the number of allocated pages (for footprint reporting).
 func (m *Image) Pages() int { return len(m.pages) }
+
+// ForEachPage calls fn for every allocated page in ascending page-number
+// order with the page's base address and contents. The deterministic
+// order makes serialized images canonical regardless of the map's
+// iteration order.
+func (m *Image) ForEachPage(fn func(base uint32, data *[PageSize]byte)) {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	for i := 1; i < len(pns); i++ { // insertion sort; page counts are tiny
+		for j := i; j > 0 && pns[j] < pns[j-1]; j-- {
+			pns[j], pns[j-1] = pns[j-1], pns[j]
+		}
+	}
+	for _, pn := range pns {
+		fn(pn<<pageShift, m.pages[pn])
+	}
+}
+
+// SetPage installs a full page at the page-aligned base address,
+// overwriting any existing page (the deserialization counterpart of
+// ForEachPage).
+func (m *Image) SetPage(base uint32, data *[PageSize]byte) {
+	if m.pages == nil {
+		m.pages = make(map[uint32]*[pageSize]byte)
+	}
+	p := new([pageSize]byte)
+	*p = *data
+	m.pages[base>>pageShift] = p
+	m.lastPN, m.lastPage = base>>pageShift, p
+}

@@ -80,7 +80,7 @@ func Slice(tr *trace.Trace, iv Interval) (*trace.Trace, error) {
 	for i := 0; i < iv.Start; i++ {
 		e := &tr.Entries[i]
 		if e.IsStore() {
-			img.Write(e.Addr, e.Size, e.Value)
+			img.Write(e.Addr, uint32(e.Size), e.Value)
 		}
 	}
 	sub := &trace.Trace{

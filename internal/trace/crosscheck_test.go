@@ -26,9 +26,9 @@ func TestLoadValuesReconstructible(t *testing.T) {
 			e := &tr.Entries[i]
 			switch {
 			case e.IsStore():
-				img.Write(e.Addr, e.Size, e.Value)
+				img.Write(e.Addr, uint32(e.Size), e.Value)
 			case e.IsLoad():
-				got := trace.ExtendLoad(e.Instr.Op, img.Read(e.Addr, e.Size))
+				got := trace.ExtendLoad(e.Instr.Op, img.Read(e.Addr, uint32(e.Size)))
 				if got != e.Value {
 					t.Fatalf("%s: load at entry %d (pc 0x%x): replayed 0x%x, trace says 0x%x",
 						bench, i, e.PC, got, e.Value)

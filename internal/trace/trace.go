@@ -38,18 +38,38 @@ func (o Overlap) String() string {
 }
 
 // Entry is one dynamic instruction on the correct path.
+//
+// The field order is load-bearing: entries are stored verbatim (little
+// endian, no padding between records) by the persistent artifact cache,
+// so the layout below IS the trace store's on-disk record format.
+// Reordering, resizing or adding a field changes the format — bump
+// internal/artifact's trace format version when touching this struct
+// (the artifact package asserts the 56-byte layout at init and falls
+// back to cache misses if the compiled layout ever deviates). Derivable
+// per-entry values (store/load sequence numbers, store distance) are
+// deliberately methods, not fields: they cost nothing to recompute and
+// would fatten every record on disk and in memory.
 type Entry struct {
 	PC    uint32
 	Instr isa.Instr
 
-	// Control flow (valid for branches and jumps).
-	Taken  bool
-	Target uint32 // architectural next PC
+	// Target is the architectural next PC (valid for branches and
+	// jumps).
+	Target uint32
 
 	// Memory (valid for loads and stores).
 	Addr  uint32
-	Size  uint32
 	Value uint32 // loads: final register result; stores: raw data register value
+
+	// Taken reports whether a branch was taken.
+	Taken bool
+	// Silent marks stores that rewrote identical bytes.
+	Silent bool
+	// DepOverlap classifies the byte overlap with DepStore (filled by
+	// Analyze for loads).
+	DepOverlap Overlap
+	// Size is the access width in bytes (1, 2 or 4).
+	Size uint8
 
 	// StoresBefore counts dynamic stores that precede this entry; it
 	// equals the store sequence number (SSN) the rename stage observes
@@ -58,28 +78,39 @@ type Entry struct {
 	// LoadsBefore counts dynamic loads that precede this entry (the
 	// load sequence number space used by the Fire-and-Forget model).
 	LoadsBefore int64
-	// LoadSeq is this load's 1-based dynamic sequence number (0 for
-	// non-loads).
-	LoadSeq int64
-	// StoreSeq is this store's 1-based dynamic sequence number (0 for
-	// non-stores). On the correct path it equals the SSN the core
-	// assigns.
-	StoreSeq int64
-	// Silent marks stores that rewrote identical bytes.
-	Silent bool
-
-	// Fields below are filled by Analyze for loads.
-
 	// DepStore is the StoreSeq of the youngest store that wrote any byte
 	// this load reads (0 if the location was never stored to in this
-	// trace).
+	// trace; filled by Analyze for loads).
 	DepStore int64
-	// DepOverlap classifies the byte overlap with DepStore.
-	DepOverlap Overlap
-	// DepDist is StoresBefore - DepStore, the store-distance ground
-	// truth the Store Distance Predictor tries to learn (0 means the
-	// colliding store is the most recent store).
-	DepDist int64
+}
+
+// StoreSeq returns this store's 1-based dynamic sequence number (0 for
+// non-stores). On the correct path it equals the SSN the core assigns.
+func (e *Entry) StoreSeq() int64 {
+	if e.IsStore() {
+		return e.StoresBefore + 1
+	}
+	return 0
+}
+
+// LoadSeq returns this load's 1-based dynamic sequence number (0 for
+// non-loads).
+func (e *Entry) LoadSeq() int64 {
+	if e.IsLoad() {
+		return e.LoadsBefore + 1
+	}
+	return 0
+}
+
+// DepDist returns StoresBefore - DepStore, the store-distance ground
+// truth the Store Distance Predictor tries to learn (0 means the
+// colliding store is the most recent store, or that the load has no
+// colliding store at all).
+func (e *Entry) DepDist() int64 {
+	if e.DepStore == 0 {
+		return 0
+	}
+	return e.StoresBefore - e.DepStore
 }
 
 // IsLoad reports whether the entry is a load.
@@ -94,7 +125,7 @@ func (e *Entry) WordAddr() uint32 { return e.Addr &^ 3 }
 // BAB returns the 4-bit byte-access-bits mask of the access within its
 // word (paper §IV-D): bit i set means byte i of the word is accessed.
 func (e *Entry) BAB() uint8 {
-	return BAB(e.Addr, e.Size)
+	return BAB(e.Addr, uint32(e.Size))
 }
 
 // BAB computes byte access bits for an access of size bytes at addr.
@@ -167,20 +198,18 @@ func (t *Trace) Analyze() {
 		switch {
 		case e.IsStore():
 			storeSeq++
-			e.StoreSeq = storeSeq
 			t.Stores++
 			w := writerFor(e.WordAddr())
-			for b := uint32(0); b < e.Size; b++ {
+			for b := uint32(0); b < uint32(e.Size); b++ {
 				w[(e.Addr+b)&3] = storeSeq
 			}
 		case e.IsLoad():
 			loadSeq++
-			e.LoadSeq = loadSeq
 			t.Loads++
 			w := lastWriter[e.WordAddr()]
 			byteWriters = byteWriters[:0]
 			var youngest int64
-			for b := uint32(0); b < e.Size; b++ {
+			for b := uint32(0); b < uint32(e.Size); b++ {
 				var ws int64
 				if w != nil {
 					ws = w[(e.Addr+b)&3]
@@ -193,7 +222,6 @@ func (t *Trace) Analyze() {
 			e.DepStore = youngest
 			if youngest == 0 {
 				e.DepOverlap = OverlapNone
-				e.DepDist = 0
 				continue
 			}
 			full := true
@@ -212,7 +240,6 @@ func (t *Trace) Analyze() {
 			} else {
 				e.DepOverlap = OverlapPartial
 			}
-			e.DepDist = e.StoresBefore - e.DepStore
 		}
 	}
 }
@@ -236,13 +263,13 @@ func (t *Trace) EntryBySeq(seq int64) int {
 	// lo is the first entry with StoresBefore >= seq; the store itself is
 	// the previous entry with StoreSeq == seq.
 	for i := lo - 1; i >= 0 && i > lo-16; i-- {
-		if t.Entries[i].StoreSeq == seq {
+		if t.Entries[i].StoreSeq() == seq {
 			return i
 		}
 	}
 	// Fallback linear scan (should not happen).
 	for i := range t.Entries {
-		if t.Entries[i].StoreSeq == seq {
+		if t.Entries[i].StoreSeq() == seq {
 			return i
 		}
 	}
@@ -257,11 +284,11 @@ func ForwardValue(st, ld *Entry) uint32 {
 	// Materialize the store's bytes within its word, then extract the
 	// load's bytes.
 	var word [4]byte
-	for b := uint32(0); b < st.Size; b++ {
+	for b := uint32(0); b < uint32(st.Size); b++ {
 		word[(st.Addr+b)&3] = byte(st.Value >> (8 * b))
 	}
 	var v uint32
-	for b := uint32(0); b < ld.Size; b++ {
+	for b := uint32(0); b < uint32(ld.Size); b++ {
 		v |= uint32(word[(ld.Addr+b)&3]) << (8 * b)
 	}
 	return ExtendLoad(ld.Instr.Op, v)

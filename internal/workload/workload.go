@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
 
@@ -79,6 +80,14 @@ func (s *Spec) Source() string {
 	src.WriteString("\t.data\n")
 	src.WriteString(b.data.String())
 	return src.String()
+}
+
+// SourceHash returns the SHA-256 of the generated assembly source. It is
+// the workload component of persistent cache keys: two specs hash equal
+// exactly when they generate the same program, so renaming a proxy never
+// aliases and regenerating identical source always hits.
+func (s *Spec) SourceHash() [sha256.Size]byte {
+	return sha256.Sum256([]byte(s.Source()))
 }
 
 // Program assembles the proxy.

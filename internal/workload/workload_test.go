@@ -84,7 +84,7 @@ func TestOCProxiesHaveCollidingLoads(t *testing.T) {
 		var nearDeps int64
 		for i := range tr.Entries {
 			e := &tr.Entries[i]
-			if e.IsLoad() && e.DepStore > 0 && e.DepDist <= 4 {
+			if e.IsLoad() && e.DepStore > 0 && e.DepDist() <= 4 {
 				nearDeps++
 			}
 		}
@@ -106,7 +106,7 @@ func TestStreamProxiesMostlyIndependent(t *testing.T) {
 			e := &tr.Entries[i]
 			if e.IsLoad() {
 				loads++
-				if e.DepStore > 0 && e.DepDist <= 8 {
+				if e.DepStore > 0 && e.DepDist() <= 8 {
 					near++
 				}
 			}

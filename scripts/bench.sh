@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH:-Fig2LoadDistribution|Fig12Speedup|TableVIMPKI|SimulatorThroughput}"
+PATTERN="${BENCH:-Fig2LoadDistribution|Fig12Speedup|TableVIMPKI|SimulatorThroughput|TraceBuild|TraceDecode|SuiteColdCache|SuiteWarmCache}"
 COUNT="${COUNT:-5}"
 
 # Baselines are numbered by the PR that recorded them; ID=BENCH_0007
