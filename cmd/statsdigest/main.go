@@ -65,7 +65,7 @@ func main() {
 				bad = true
 				continue
 			}
-			fmt.Printf("%-12s %-8s %s\n", b, m, digest(st))
+			fmt.Printf("%-12s %-8s %s\n", b, m, st.DigestLine())
 		}
 	}
 	if line := store.Summary(); line != "" {
@@ -123,23 +123,4 @@ func run(store *artifact.Store, tr *dmdp.Trace, traceKey artifact.Key, m dmdp.Mo
 	}
 	store.StoreStats(key, st)
 	return st, nil
-}
-
-// digest renders every deterministic counter of one run. Field order is
-// fixed; do not reorder (diffs against recorded digests would churn).
-func digest(s *dmdp.Stats) string {
-	return fmt.Sprintf("cyc=%d inst=%d uops=%d loads=%v loadt=%v lat=%v "+
-		"lowconf=%d/%d/%v mpred=%d/%v reexec=%d stall=%d sbstall=%d "+
-		"pred=%d cloak=%d delay=%d viol=%d inval=%d bmiss=%d fstall=%d "+
-		"sc=%d/%d rr=%d rw=%d iqw=%d iqi=%d robw=%d sqs=%d tssbf=%d/%d "+
-		"sdp=%d/%d ca=%d l2=%d dram=%d tlb=%d squash=%d miss=%.6f/%.6f oracle=%d",
-		s.Cycles, s.Instructions, s.Uops, s.LoadCount, s.LoadExecTime, s.LoadLatency,
-		s.LowConfCount, s.LowConfExecTime, s.LowConfOutcomes,
-		s.DepMispredicts, s.DepMispredictsByCat, s.Reexecs, s.ReexecStallCycle, s.SBFullStall,
-		s.Predications, s.Cloaks, s.DelayedLoads, s.Violations, s.Invalidations,
-		s.BranchMispredicts, s.FetchStallCycles,
-		s.StoresCommitted, s.StoresCoalesced, s.RegReads, s.RegWrites,
-		s.IQWakeups, s.IQInserts, s.ROBWrites, s.SQSearches, s.TSSBFReads, s.TSSBFWrites,
-		s.SDPReads, s.SDPWrites, s.CacheAccesses, s.L2Accesses, s.DRAMAccesses,
-		s.TLBAccesses, s.SquashedUops, s.L1MissRate, s.L2MissRate, s.OracleChecks)
 }

@@ -377,7 +377,18 @@ func (s *Store) enforceCap() {
 	if total <= s.maxBytes {
 		return
 	}
-	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	// LRU by mtime, ties broken by file name: coarse filesystem
+	// timestamps make equal mtimes common (a warm-up burst can publish
+	// dozens of entries in one tick), and without the secondary key the
+	// eviction order within a tie would be whatever os.ReadDir's
+	// directory listing happened to be — filesystem-dependent and
+	// irreproducible.
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mtime != files[j].mtime {
+			return files[i].mtime < files[j].mtime
+		}
+		return files[i].path < files[j].path
+	})
 	for _, f := range files {
 		if total <= s.maxBytes {
 			break

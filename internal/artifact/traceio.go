@@ -299,6 +299,12 @@ func decodeTrace(buf []byte) (tr *trace.Trace) {
 	}
 	prog.Data = append([]byte(nil), p[off:off+dataLen]...)
 	off += dataLen
+	if symCount > (len(p)-off)/8 {
+		// Each symbol occupies at least 8 bytes; a count the remaining
+		// payload cannot hold is corruption. Checking before the make
+		// keeps a hostile count from pre-sizing a multi-gigabyte map.
+		return nil
+	}
 	prog.Symbols = make(map[string]uint32, symCount)
 	for i := 0; i < symCount; i++ {
 		if off+4 > len(p) {

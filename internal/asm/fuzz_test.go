@@ -1,0 +1,65 @@
+package asm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dmdp/internal/asm"
+	"dmdp/internal/progen"
+	"dmdp/internal/workload"
+)
+
+// FuzzAsmRoundTrip checks the parse → print → parse fixpoint: any source
+// the assembler accepts must print (asm.Print) to source the assembler
+// accepts again, producing the identical text stream, data image and
+// entry point — and printing the reassembled program must reproduce the
+// printed text byte-for-byte. Assembler rejections are fine (most
+// mutated inputs don't assemble); panics and round-trip drift are not.
+func FuzzAsmRoundTrip(f *testing.F) {
+	f.Add("\t.text\nmain:\n\tli $t0, 42\n\tsw $t0, 0($gp)\n\tlw $t1, 0($gp)\n\thalt\n")
+	f.Add("\t.text\n\taddi $t0, $zero, -1\n\tbeq $t0, $zero, 2\n\tnop\n\tnop\n\thalt\n\t.data\nx:\n\t.word 1, 2, 3\n")
+	f.Add("\t.text\n\tlui $t0, 0x1234\n\tori $t0, $t0, 0x5678\n\tjal 0x400010\n\thalt\n\tjr $ra\n")
+	f.Add("\t.rept 4\n\taddiu $v0, $v0, 7\n\t.endr\n\thalt\n\t.data\n\t.space 64\n\t.byte 0xff, 1\n\t.asciiz \"hi\"\n")
+	f.Add("\t.equ N, 12\n\tli $a0, N\nloop:\n\taddi $a0, $a0, -1\n\tbnez $a0, loop\n\thalt\n\t.data\n\t.align 3\n\t.half 9, 10\n")
+	if spec, ok := workload.Get("mcf"); ok {
+		f.Add(spec.Source())
+	}
+	f.Add(progen.Generate(1, progen.DefaultKnobs()))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := asm.Assemble(src)
+		if err != nil {
+			return // rejection is a fine outcome; only panics/drift are bugs
+		}
+		if len(p1.Text) > 1<<14 || len(p1.Data) > 1<<20 {
+			return // .rept/.space blowups: printing cost, not coverage
+		}
+		out1 := asm.Print(p1)
+		p2, err := asm.Assemble(out1)
+		if err != nil {
+			t.Fatalf("printed program does not reassemble: %v\nprinted:\n%s", err, out1)
+		}
+		if len(p1.Text) != len(p2.Text) {
+			t.Fatalf("text length drifted: %d -> %d", len(p1.Text), len(p2.Text))
+		}
+		for i := range p1.Text {
+			if p1.Text[i] != p2.Text[i] {
+				t.Fatalf("instruction %d drifted: %q -> %q", i, p1.Text[i], p2.Text[i])
+			}
+		}
+		if !bytes.Equal(p1.Data, p2.Data) {
+			t.Fatalf("data image drifted (%d vs %d bytes)", len(p1.Data), len(p2.Data))
+		}
+		// The entry point is representable whenever it lies in the text
+		// section (Print emits a main: label there); entries pointing
+		// elsewhere (a main: label in .data) cannot round-trip.
+		if e := p1.Entry; e >= p1.TextBase && e < p1.TextBase+uint32(4*len(p1.Text)) {
+			if p2.Entry != e {
+				t.Fatalf("entry drifted: 0x%x -> 0x%x", e, p2.Entry)
+			}
+		}
+		if out2 := asm.Print(p2); out2 != out1 {
+			t.Fatalf("print is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", out1, out2)
+		}
+	})
+}

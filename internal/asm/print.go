@@ -1,0 +1,66 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"dmdp/internal/isa"
+)
+
+// Print renders an assembled program back to source text that Assemble
+// (with DefaultOptions) reproduces: same text stream, same data bytes,
+// same entry point. It is the inverse direction of the round-trip
+// property FuzzAsmRoundTrip checks — parse → print → parse must be a
+// fixpoint. Instruction syntax comes from isa.Instr.String, whose every
+// form the parser accepts (numeric branch displacements, hex jump
+// targets, off(reg) memory operands).
+//
+// Limitations, by construction: label names other than the entry point
+// are not reconstructed (branches print as numeric displacements, jumps
+// as absolute targets) and non-default section bases cannot be
+// expressed. Programs assembled with AssembleWithOptions and custom
+// bases will not round-trip.
+func Print(p *isa.Program) string {
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+	for i, in := range p.Text {
+		addr := p.TextBase + uint32(4*i)
+		if addr == p.Entry && addr != p.TextBase {
+			b.WriteString("main:\n")
+		}
+		fmt.Fprintf(&b, "\t%s\n", in)
+	}
+	if len(p.Data) > 0 {
+		b.WriteString("\t.data\n")
+		printData(&b, p.Data)
+	}
+	return b.String()
+}
+
+// printData emits the data image as .byte rows, collapsing long zero
+// runs to .space (a .rept-heavy source can assemble megabytes of zeroed
+// arrays; re-emitting those byte-by-byte would dwarf the program).
+func printData(b *strings.Builder, data []byte) {
+	const zeroRun = 16 // shortest run worth a .space
+	for i := 0; i < len(data); {
+		j := i
+		for j < len(data) && data[j] == 0 {
+			j++
+		}
+		if j-i >= zeroRun || (j == len(data) && j > i) {
+			fmt.Fprintf(b, "\t.space %d\n", j-i)
+			i = j
+			continue
+		}
+		// One row of up to 16 non-run bytes.
+		end := i + 16
+		if end > len(data) {
+			end = len(data)
+		}
+		vals := make([]string, 0, end-i)
+		for ; i < end; i++ {
+			vals = append(vals, fmt.Sprintf("0x%02x", data[i]))
+		}
+		fmt.Fprintf(b, "\t.byte %s\n", strings.Join(vals, ", "))
+	}
+}

@@ -134,6 +134,9 @@ type Core struct {
 	retireLog [retireLogCap]RetireRecord
 	inj       *faults.Injector
 
+	// Commit-stream observer (difftest lockstep; nil when unattached).
+	commitHook CommitHook
+
 	// trackInval: record recently written lines for invalidation
 	// injection (periodic or fault-injected).
 	trackInval bool
@@ -1105,9 +1108,17 @@ func (c *Core) retireCommon(in *inst) {
 
 	c.retired++
 	c.lastRetireAt = c.now
+	if c.inj != nil && in.isLoad() && c.inj.CorruptValue() {
+		// Injected architectural corruption: the lockstep hook (if
+		// attached) and the oracle below must catch it.
+		in.gotValue ^= 0x8000_0001
+	}
 	c.recordRetire(in)
-	// Commit-time oracle: the verification machinery must never let a
-	// wrong architectural effect retire.
+	// External commit-stream observer (difftest lockstep) sees the
+	// retirement first, then the built-in commit-time oracle: the
+	// verification machinery must never let a wrong architectural
+	// effect retire.
+	c.notifyCommit(in)
 	c.oracleRetireCheck(in)
 	c.checkRefs(in.idx)
 	if c.tracer != nil {

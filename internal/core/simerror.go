@@ -28,6 +28,9 @@ const (
 	ErrDesync ErrKind = "desync"
 	// ErrRefcount: a physical register reference counter went negative.
 	ErrRefcount ErrKind = "refcount"
+	// ErrLockstep: an external commit-stream observer (the difftest
+	// lockstep harness) rejected a retiring instruction.
+	ErrLockstep ErrKind = "lockstep"
 )
 
 // retireLogCap is the depth of the retired-instruction ring buffer kept
@@ -98,7 +101,7 @@ func (e *SimError) Bundle() string {
 	fmt.Fprintf(&b, "=== simulation error: %s ===\n", e.Kind)
 	fmt.Fprintf(&b, "%s\n", e.Error())
 	fmt.Fprintf(&b, "retired %d/%d instructions\n", e.Retired, e.TraceLen)
-	if e.Kind == ErrOracle {
+	if e.Kind == ErrOracle || e.Kind == ErrLockstep {
 		fmt.Fprintf(&b, "divergence: got 0x%08x, want 0x%08x\n", e.Got, e.Want)
 	}
 	p := e.Pipeline
@@ -219,12 +222,6 @@ func (c *Core) oracleRetireCheck(in *inst) {
 	c.stats.OracleChecks++
 	switch {
 	case in.isLoad():
-		if c.inj != nil && c.inj.CorruptValue() {
-			// Injected architectural corruption: the check below must
-			// catch it.
-			in.gotValue ^= 0x8000_0001
-			c.retireLog[int((c.retired-1)%retireLogCap)].Value = in.gotValue
-		}
 		if in.gotValue != e.Value {
 			c.fail(&SimError{
 				Kind: ErrOracle, Idx: in.idx, PC: e.PC, Disasm: e.Instr.String(),

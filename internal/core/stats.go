@@ -15,6 +15,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"dmdp/internal/faults"
@@ -261,4 +262,29 @@ func (s *Stats) MeanLowConfExecTime() float64 {
 		return 0
 	}
 	return float64(s.LowConfExecTime) / float64(s.LowConfCount)
+}
+
+// DigestLine renders every deterministic counter of one run on a single
+// fixed-format line. Two builds of the simulator are behaviorally
+// identical iff their digest lines are byte-identical; wall-clock
+// observability counters (SimWallClockNS and friends) are deliberately
+// excluded — they are the only Stats fields allowed to differ between
+// runs. Field order is frozen; do not reorder (diffs against recorded
+// digests would churn). Shared by cmd/statsdigest, the committed golden
+// files under testdata/goldens/ and the difftest aggregate digest.
+func (s *Stats) DigestLine() string {
+	return fmt.Sprintf("cyc=%d inst=%d uops=%d loads=%v loadt=%v lat=%v "+
+		"lowconf=%d/%d/%v mpred=%d/%v reexec=%d stall=%d sbstall=%d "+
+		"pred=%d cloak=%d delay=%d viol=%d inval=%d bmiss=%d fstall=%d "+
+		"sc=%d/%d rr=%d rw=%d iqw=%d iqi=%d robw=%d sqs=%d tssbf=%d/%d "+
+		"sdp=%d/%d ca=%d l2=%d dram=%d tlb=%d squash=%d miss=%.6f/%.6f oracle=%d",
+		s.Cycles, s.Instructions, s.Uops, s.LoadCount, s.LoadExecTime, s.LoadLatency,
+		s.LowConfCount, s.LowConfExecTime, s.LowConfOutcomes,
+		s.DepMispredicts, s.DepMispredictsByCat, s.Reexecs, s.ReexecStallCycle, s.SBFullStall,
+		s.Predications, s.Cloaks, s.DelayedLoads, s.Violations, s.Invalidations,
+		s.BranchMispredicts, s.FetchStallCycles,
+		s.StoresCommitted, s.StoresCoalesced, s.RegReads, s.RegWrites,
+		s.IQWakeups, s.IQInserts, s.ROBWrites, s.SQSearches, s.TSSBFReads, s.TSSBFWrites,
+		s.SDPReads, s.SDPWrites, s.CacheAccesses, s.L2Accesses, s.DRAMAccesses,
+		s.TLBAccesses, s.SquashedUops, s.L1MissRate, s.L2MissRate, s.OracleChecks)
 }

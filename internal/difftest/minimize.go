@@ -1,0 +1,216 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"dmdp/internal/asm"
+)
+
+// This file is the repro minimizer: given a diverging generated program,
+// delta-debug (ddmin over source lines) it down to a small program that
+// still fails, so a CI divergence lands as a handful of instructions
+// instead of a ~200-line generated body.
+
+// Repro is a minimized failing program.
+type Repro struct {
+	Source string
+	Static int // static instructions in the minimized program
+	Trials int // candidate programs evaluated during minimization
+}
+
+// CheckFunc reports whether a candidate source still reproduces the
+// failure under investigation. It must return false for candidates that
+// do not assemble or trace.
+type CheckFunc func(src string) bool
+
+// Check builds the standard reproduction predicate for a divergence: the
+// candidate still assembles, traces, and fails lockstep for the same
+// model (any lockstep/oracle/hardening error counts — the minimizer must
+// not chase an exact message that shifts as context lines disappear).
+func (d *Divergence) Check(opt Options) CheckFunc {
+	cfg := opt.config(d.Model)
+	return func(src string) bool {
+		tr, err := BuildTrace(src, opt.Budget)
+		if err != nil {
+			return false
+		}
+		_, err = Lockstep(cfg, tr)
+		return err != nil
+	}
+}
+
+// Minimize delta-debugs the divergence's source program. The result is
+// the smallest program the line-granular ddmin pass reaches; with
+// deterministic failures (e.g. value corruption at rate 1) this is
+// typically a handful of instructions.
+func (d *Divergence) Minimize(opt Options) *Repro {
+	return MinimizeSource(d.Source, d.Check(opt))
+}
+
+// removable reports whether a source line may be deleted. The control
+// skeleton (labels, directives, the loop counter and its decrement/
+// backward branch, halt, leaf returns) stays; every other instruction
+// line is fair game — deleting a register initializer or a branch is
+// fine because unreferenced labels and zero-valued registers are both
+// legal.
+func removable(line string) bool {
+	t := strings.TrimSpace(line)
+	if t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, ".") {
+		return false
+	}
+	if strings.HasSuffix(strings.SplitN(t, " ", 2)[0], ":") {
+		return false
+	}
+	switch {
+	case strings.Contains(t, "# loop-counter"),
+		strings.HasPrefix(t, "addi $s6"),
+		strings.HasPrefix(t, "bnez $s6"),
+		strings.HasPrefix(t, "jr "),
+		strings.HasPrefix(t, "halt"):
+		return false
+	}
+	return true
+}
+
+// MinimizeSource runs ddmin over the removable lines of src, keeping a
+// candidate whenever check still reports failure. It then tries to
+// collapse the loop trip count to 1. check(src) must be true on entry.
+func MinimizeSource(src string, check CheckFunc) *Repro {
+	lines := strings.Split(src, "\n")
+	var cand []int // indices of removable lines
+	for i, l := range lines {
+		if removable(l) {
+			cand = append(cand, i)
+		}
+	}
+	dead := make([]bool, len(lines))
+	build := func() string {
+		var b strings.Builder
+		for i, l := range lines {
+			if !dead[i] {
+				b.WriteString(l)
+				b.WriteByte('\n')
+			}
+		}
+		return b.String()
+	}
+	trials := 0
+	try := func(drop []int) bool {
+		for _, i := range drop {
+			dead[i] = true
+		}
+		trials++
+		if check(build()) {
+			return true
+		}
+		for _, i := range drop {
+			dead[i] = false
+		}
+		return false
+	}
+
+	// ddmin: sweep with shrinking chunk sizes until a full pass at
+	// chunk 1 removes nothing.
+	alive := func() []int {
+		var out []int
+		for _, i := range cand {
+			if !dead[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for chunk := (len(cand) + 1) / 2; chunk >= 1; {
+		removed := false
+		a := alive()
+		for start := 0; start < len(a); {
+			end := start + chunk
+			if end > len(a) {
+				end = len(a)
+			}
+			if try(a[start:end]) {
+				a = append(a[:start:start], a[end:]...)
+				removed = true
+			} else {
+				start = end
+			}
+		}
+		if chunk == 1 {
+			if !removed {
+				break
+			}
+			continue
+		}
+		chunk /= 2
+	}
+
+	// Collapse the loop: a one-iteration repro is easier to read.
+	for i, l := range lines {
+		if !dead[i] && strings.Contains(l, "# loop-counter") {
+			saved := lines[i]
+			lines[i] = "\tli $s6, 1 # loop-counter"
+			trials++
+			if !check(build()) {
+				lines[i] = saved
+			}
+			break
+		}
+	}
+
+	// Sweep labels that no surviving line references (semantically inert,
+	// but they clutter the repro); verified with one final check.
+	var swept []int
+	for i, l := range lines {
+		t := strings.TrimSpace(l)
+		if dead[i] || !strings.HasSuffix(t, ":") || !strings.HasPrefix(t, "L") {
+			continue
+		}
+		// Branch targets are always the last operand, so a label is
+		// referenced iff some surviving line's last token is its name.
+		name := strings.TrimSuffix(t, ":")
+		used := false
+		for j, m := range lines {
+			if j == i || dead[j] {
+				continue
+			}
+			f := strings.Fields(m)
+			if len(f) > 0 && f[len(f)-1] == name {
+				used = true
+				break
+			}
+		}
+		if !used {
+			dead[i] = true
+			swept = append(swept, i)
+		}
+	}
+	if len(swept) > 0 {
+		trials++
+		if !check(build()) {
+			for _, i := range swept {
+				dead[i] = false
+			}
+		}
+	}
+
+	out := build()
+	static := 0
+	if p, err := asm.Assemble(out); err == nil {
+		static = len(p.Text)
+	}
+	return &Repro{Source: out, Static: static, Trials: trials}
+}
+
+// ReproFile renders the minimized repro as a self-describing runnable .s
+// file: the original generator coordinates and the failure line ride
+// along as comments so the file alone is enough to rerun and triage.
+func (d *Divergence) ReproFile(r *Repro) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# difftest repro: seed=%d preset=%s model=%s\n", d.Seed, d.Preset, d.Model)
+	fmt.Fprintf(&b, "# knobs: %s\n", d.Knobs)
+	fmt.Fprintf(&b, "# failure: %v\n", d.Err)
+	fmt.Fprintf(&b, "# static instructions: %d (minimized in %d trials)\n", r.Static, r.Trials)
+	b.WriteString(r.Source)
+	return b.String()
+}

@@ -477,7 +477,16 @@ func (r *Runner) warm(specs []RunSpec) error {
 
 // forEachPooled runs f(0..n-1) on the runner's worker pool.
 func (r *Runner) forEachPooled(n int, f func(i int)) {
-	jobs := r.jobs()
+	Pool(r.jobs(), n, f)
+}
+
+// Pool runs f(0..n-1) on an atomic-counter worker pool of the given
+// width (jobs <= 1 runs serially on the caller's goroutine). It is the
+// experiment runner's scheduling primitive, exported for other harnesses
+// (cmd/difftest) that need the same deterministic fan-out: work items are
+// claimed by index, so callers that write results into slot i get
+// schedule-independent output.
+func Pool(jobs, n int, f func(i int)) {
 	if jobs > n {
 		jobs = n
 	}

@@ -1,0 +1,108 @@
+// Package goldens pins the simulator's behavior: the committed golden
+// file under testdata/goldens/ holds one canonical Stats digest line per
+// (proxy, model) pair, and this test fails on any drift. A behavioral
+// change (however intentional) must be acknowledged by regenerating the
+// file with
+//
+//	go test ./internal/goldens -run TestGoldenStatsDigests -update
+//
+// and committing the diff — which makes every digest change visible in
+// review instead of discovered ad hoc inside individual PRs.
+package goldens
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmdp/internal/config"
+	"dmdp/internal/core"
+	"dmdp/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden digest file")
+
+// goldenBudget is deliberately modest: large enough that every proxy
+// reaches steady state and every model's mechanisms fire, small enough
+// that the full 21x5 sweep stays a few seconds of `go test ./...`.
+const goldenBudget = 50_000
+
+const goldenPath = "testdata/goldens/statsdigest_50k.txt"
+
+var models = []config.Model{
+	config.Baseline, config.NoSQ, config.DMDP, config.Perfect, config.FnF,
+}
+
+func renderAll(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# golden statsdigest: %d proxies x %d models, %d-instruction budget\n",
+		len(workload.Names()), len(models), goldenBudget)
+	fmt.Fprintf(&b, "# regenerate: go test ./internal/goldens -run TestGoldenStatsDigests -update\n")
+	for _, name := range workload.Names() {
+		spec, ok := workload.Get(name)
+		if !ok {
+			t.Fatalf("workload %q missing", name)
+		}
+		tr, err := spec.BuildTrace(goldenBudget)
+		if err != nil {
+			t.Fatalf("%s: trace: %v", name, err)
+		}
+		for _, m := range models {
+			c, err := core.New(config.Default(m), tr)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, m, err)
+			}
+			st, err := c.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, m, err)
+			}
+			fmt.Fprintf(&b, "%-12s %-8s %s\n", name, m, st.DigestLine())
+		}
+	}
+	return b.String()
+}
+
+func TestGoldenStatsDigests(t *testing.T) {
+	got := renderAll(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (%v); generate it with -update", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Drift: report the first few differing lines, not a wall of text.
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	diffs := 0
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g == w {
+			continue
+		}
+		if diffs < 5 {
+			t.Errorf("line %d drifted:\n  golden: %s\n  got:    %s", i+1, w, g)
+		}
+		diffs++
+	}
+	t.Fatalf("%d line(s) drifted from %s; if the behavior change is intended, regenerate with -update and commit the diff", diffs, goldenPath)
+}

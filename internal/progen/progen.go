@@ -1,0 +1,360 @@
+// Package progen generates seeded, fully deterministic random programs
+// for the simulator's MIPS-like ISA. The generator is the input side of
+// the difftest lockstep harness (internal/difftest): identical (seed,
+// knobs) pairs produce byte-identical assembly text, so every failure is
+// reproducible from nothing but the seed and the knob vector printed in
+// the program header.
+//
+// Programs are structured so they always terminate and always assemble:
+//
+//	main:   pointer/value register setup, stack frame, loop counter
+//	loop:   a body of Knobs.Body generated slots (ALU ops, loads,
+//	        stores, forward-only conditional branches, leaf calls),
+//	        repeated Knobs.LoopIters times
+//	        epilogue: counter decrement, backward branch, halt
+//	leafN:  tiny ALU leaf functions reachable via jal
+//	.data:  word arrays with seeded initial contents
+//
+// Branches inside the body only jump forward (over freshly generated
+// slots), so the only backward edge is the counted loop — the program
+// retires at most a bounded number of dynamic instructions. All memory
+// offsets are aligned to the access size (the emulator treats unaligned
+// access as a hard error) and loads can be steered onto recently stored
+// addresses to exercise store-load forwarding, cloaking and predication
+// at a controlled collision rate and aliasing distance.
+package progen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Knobs are the tunable distribution parameters of the generator. The
+// zero value is not useful; start from a preset (Presets, PresetByName)
+// or DefaultKnobs and adjust.
+type Knobs struct {
+	Body      int // static instruction slots per loop iteration
+	LoopIters int // trip count of the outer counted loop
+
+	MemFrac       float64 // fraction of body slots that access memory
+	StoreFrac     float64 // fraction of memory slots that are stores
+	CollisionProb float64 // P(a load reuses a recently stored address)
+	AliasDist     int     // how many recent stores a colliding load may target
+	BranchFrac    float64 // fraction of body slots that open a forward branch
+	PartialFrac   float64 // fraction of memory accesses that are sub-word
+	StackFrac     float64 // fraction of memory traffic through $sp
+	CallFrac      float64 // fraction of body slots that call a leaf function
+}
+
+// String renders the knob vector in a fixed, header-friendly format.
+func (k Knobs) String() string {
+	return fmt.Sprintf("body=%d iters=%d mem=%.2f store=%.2f coll=%.2f alias=%d branch=%.2f partial=%.2f stack=%.2f call=%.2f",
+		k.Body, k.LoopIters, k.MemFrac, k.StoreFrac, k.CollisionProb,
+		k.AliasDist, k.BranchFrac, k.PartialFrac, k.StackFrac, k.CallFrac)
+}
+
+// DefaultKnobs is the balanced "mixed" preset.
+func DefaultKnobs() Knobs { return presets[0].Knobs }
+
+// Preset is a named knob vector.
+type Preset struct {
+	Name  string
+	Knobs Knobs
+}
+
+var presets = []Preset{
+	{"mixed", Knobs{Body: 120, LoopIters: 8, MemFrac: 0.45, StoreFrac: 0.40, CollisionProb: 0.50, AliasDist: 8, BranchFrac: 0.12, PartialFrac: 0.25, StackFrac: 0.30, CallFrac: 0.04}},
+	{"storeheavy", Knobs{Body: 120, LoopIters: 8, MemFrac: 0.60, StoreFrac: 0.70, CollisionProb: 0.40, AliasDist: 12, BranchFrac: 0.08, PartialFrac: 0.20, StackFrac: 0.25, CallFrac: 0.02}},
+	{"aliasheavy", Knobs{Body: 110, LoopIters: 9, MemFrac: 0.55, StoreFrac: 0.45, CollisionProb: 0.90, AliasDist: 4, BranchFrac: 0.08, PartialFrac: 0.15, StackFrac: 0.20, CallFrac: 0.02}},
+	{"branchy", Knobs{Body: 130, LoopIters: 7, MemFrac: 0.35, StoreFrac: 0.40, CollisionProb: 0.45, AliasDist: 8, BranchFrac: 0.30, PartialFrac: 0.20, StackFrac: 0.30, CallFrac: 0.06}},
+	{"partial", Knobs{Body: 110, LoopIters: 9, MemFrac: 0.55, StoreFrac: 0.50, CollisionProb: 0.60, AliasDist: 6, BranchFrac: 0.10, PartialFrac: 0.80, StackFrac: 0.25, CallFrac: 0.02}},
+	{"stack", Knobs{Body: 110, LoopIters: 9, MemFrac: 0.50, StoreFrac: 0.45, CollisionProb: 0.55, AliasDist: 8, BranchFrac: 0.10, PartialFrac: 0.30, StackFrac: 0.90, CallFrac: 0.04}},
+	{"sparse", Knobs{Body: 140, LoopIters: 7, MemFrac: 0.15, StoreFrac: 0.35, CollisionProb: 0.30, AliasDist: 8, BranchFrac: 0.15, PartialFrac: 0.20, StackFrac: 0.30, CallFrac: 0.05}},
+}
+
+// Presets returns the built-in knob vectors (copy; safe to mutate).
+func Presets() []Preset {
+	out := make([]Preset, len(presets))
+	copy(out, presets)
+	return out
+}
+
+// PresetByName resolves a preset name.
+func PresetByName(name string) (Knobs, bool) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p.Knobs, true
+		}
+	}
+	return Knobs{}, false
+}
+
+// PresetNames returns the preset names in declaration order.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// rng is a splitmix64 generator: tiny, seedable, stable across Go
+// versions (math/rand's stream is not part of its compatibility
+// promise, and program text must be byte-identical forever).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) chance(p float64) bool {
+	return float64(r.next()>>11)/(1<<53) < p
+}
+
+// Register pools. The loop counter ($s6), the heap pointers ($s0-$s3),
+// the stack pointer and $ra are never written by generated body slots;
+// everything else in valueRegs is fair game.
+var (
+	valueRegs = []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8", "$t9", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$s4", "$s5"}
+	ptrRegs   = []string{"$s0", "$s1", "$s2", "$s3"}
+)
+
+const (
+	arrCount   = 4   // heap arrays, one per pointer register
+	arrWords   = 64  // words per array
+	frameBytes = 256 // stack frame carved below $sp
+	leafCount  = 3   // tiny callable leaf functions
+)
+
+// storeSite remembers a recent store's target so a later load can be
+// aimed at it (full or partial overlap, always aligned).
+type storeSite struct {
+	base string // base register
+	off  int
+	size int
+}
+
+type gen struct {
+	r      rng
+	k      Knobs
+	b      strings.Builder
+	label  int
+	stores []storeSite // ring of recent stores, oldest first
+}
+
+// Generate produces the assembly text for (seed, knobs). The output is a
+// pure function of its arguments: byte-identical across runs, hosts and
+// worker counts.
+func Generate(seed uint64, k Knobs) string {
+	if k.Body <= 0 {
+		k.Body = 1
+	}
+	if k.LoopIters <= 0 {
+		k.LoopIters = 1
+	}
+	if k.AliasDist <= 0 {
+		k.AliasDist = 1
+	}
+	g := &gen{r: rng{s: seed}, k: k}
+	g.emit(seed)
+	return g.b.String()
+}
+
+func (g *gen) line(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) valReg() string { return valueRegs[g.r.intn(len(valueRegs))] }
+
+func (g *gen) emit(seed uint64) {
+	g.line("# progen seed=%d", seed)
+	g.line("# knobs: %s", g.k)
+	g.line("\t.text")
+	g.line("main:")
+	for i, p := range ptrRegs {
+		g.line("\tla %s, arr%d", p, i)
+	}
+	g.line("\taddi $sp, $sp, -%d", frameBytes)
+	// Seed every value register (and fill the stack frame so partial
+	// loads from never-stored frame slots read deterministic bytes —
+	// memory is zero-filled anyway, but a non-trivial initial image
+	// exercises more forwarding cases).
+	for _, v := range valueRegs {
+		g.line("\tli %s, %d", v, int32(g.r.next()&0x7fffffff))
+	}
+	for off := 0; off < frameBytes; off += 4 {
+		if g.r.chance(0.25) {
+			g.line("\tsw %s, %d($sp)", g.valReg(), off)
+		}
+	}
+	g.line("\tli $s6, %d # loop-counter", g.k.LoopIters)
+	g.line("loop:")
+	g.line("# body-begin")
+	for emitted := 0; emitted < g.k.Body; {
+		emitted += g.slot(true)
+	}
+	g.line("# body-end")
+	g.line("\taddi $s6, $s6, -1")
+	g.line("\tbnez $s6, loop")
+	g.line("\taddi $sp, $sp, %d", frameBytes)
+	g.line("\thalt")
+	for i := 0; i < leafCount; i++ {
+		g.line("leaf%d:", i)
+		for n := 2 + g.r.intn(3); n > 0; n-- {
+			g.alu()
+		}
+		g.line("\tjr $ra")
+	}
+	g.line("")
+	g.line("\t.data")
+	for i := 0; i < arrCount; i++ {
+		g.line("\t.align 2")
+		g.line("arr%d:", i)
+		for w := 0; w < arrWords; w += 8 {
+			vals := make([]string, 8)
+			for j := range vals {
+				vals[j] = fmt.Sprintf("0x%08x", uint32(g.r.next()))
+			}
+			g.line("\t.word %s", strings.Join(vals, ", "))
+		}
+	}
+}
+
+// slot emits one body slot and returns how many slots it consumed (a
+// forward branch consumes its guarded block too). Only top-level slots
+// may open branches or calls — the guarded block stays branch-free so
+// labels never nest or cross.
+func (g *gen) slot(top bool) int {
+	switch {
+	case top && g.r.chance(g.k.BranchFrac):
+		return g.branch()
+	case top && g.r.chance(g.k.CallFrac):
+		g.line("\tjal leaf%d", g.r.intn(leafCount))
+		return 1
+	case g.r.chance(g.k.MemFrac):
+		g.memAccess()
+		return 1
+	default:
+		g.alu()
+		return 1
+	}
+}
+
+// branch emits a forward conditional branch over 1-3 generated slots.
+func (g *gen) branch() int {
+	l := g.label
+	g.label++
+	ops2 := []string{"beq", "bne"}
+	ops1 := []string{"blez", "bgtz", "bltz", "bgez"}
+	if g.r.chance(0.5) {
+		g.line("\t%s %s, %s, L%d", ops2[g.r.intn(2)], g.valReg(), g.valReg(), l)
+	} else {
+		g.line("\t%s %s, L%d", ops1[g.r.intn(4)], g.valReg(), l)
+	}
+	n := 1 + g.r.intn(3)
+	for i := 0; i < n; i++ {
+		g.slot(false)
+	}
+	g.line("L%d:", l)
+	return n + 1
+}
+
+// memAccess emits one load or store with knob-controlled base region,
+// access size and (for loads) collision steering.
+func (g *gen) memAccess() {
+	if g.r.chance(g.k.StoreFrac) {
+		base, limit := g.region()
+		size := g.accessSize()
+		off := g.alignedOff(limit, size)
+		g.line("\t%s %s, %d(%s)", map[int]string{1: "sb", 2: "sh", 4: "sw"}[size], g.valReg(), off, base)
+		g.stores = append(g.stores, storeSite{base, off, size})
+		if len(g.stores) > 64 {
+			g.stores = g.stores[1:]
+		}
+		return
+	}
+
+	var base string
+	var off, size int
+	if len(g.stores) > 0 && g.r.chance(g.k.CollisionProb) {
+		// Aim at one of the last AliasDist stores: same word, size no
+		// larger than the store's, aligned sub-offset — full overlaps,
+		// partial overlaps and narrow re-reads all occur.
+		win := g.k.AliasDist
+		if win > len(g.stores) {
+			win = len(g.stores)
+		}
+		s := g.stores[len(g.stores)-1-g.r.intn(win)]
+		size = g.accessSize()
+		for size > s.size {
+			size >>= 1
+		}
+		base = s.base
+		off = s.off + g.r.intn(s.size/size)*size
+	} else {
+		var limit int
+		base, limit = g.region()
+		size = g.accessSize()
+		off = g.alignedOff(limit, size)
+	}
+	op := map[int]string{4: "lw"}[size]
+	if op == "" {
+		signed := map[int]string{1: "lb", 2: "lh"}[size]
+		if g.r.chance(0.5) {
+			op = signed + "u"
+		} else {
+			op = signed
+		}
+	}
+	g.line("\t%s %s, %d(%s)", op, g.valReg(), off, base)
+}
+
+// region picks stack vs heap traffic and returns the base register and
+// the byte extent addressable from it.
+func (g *gen) region() (base string, limit int) {
+	if g.r.chance(g.k.StackFrac) {
+		return "$sp", frameBytes
+	}
+	return ptrRegs[g.r.intn(len(ptrRegs))], arrWords * 4
+}
+
+func (g *gen) accessSize() int {
+	if g.r.chance(g.k.PartialFrac) {
+		if g.r.chance(0.5) {
+			return 1
+		}
+		return 2
+	}
+	return 4
+}
+
+func (g *gen) alignedOff(limit, size int) int {
+	return g.r.intn(limit/size) * size
+}
+
+// alu emits one computational instruction.
+func (g *gen) alu() {
+	switch g.r.intn(10) {
+	case 0, 1, 2: // R-type arithmetic/logic
+		ops := []string{"add", "addu", "sub", "subu", "and", "or", "xor", "nor", "slt", "sltu", "mul", "sllv", "srlv", "srav"}
+		g.line("\t%s %s, %s, %s", ops[g.r.intn(len(ops))], g.valReg(), g.valReg(), g.valReg())
+	case 3, 4, 5: // I-type
+		ops := []string{"addi", "addiu", "andi", "ori", "xori", "slti", "sltiu"}
+		g.line("\t%s %s, %s, %d", ops[g.r.intn(len(ops))], g.valReg(), g.valReg(), g.r.intn(0x10000)-0x8000)
+	case 6, 7: // immediate shifts
+		ops := []string{"sll", "srl", "sra"}
+		g.line("\t%s %s, %s, %d", ops[g.r.intn(3)], g.valReg(), g.valReg(), g.r.intn(32))
+	case 8:
+		g.line("\tlui %s, 0x%x", g.valReg(), g.r.intn(0x10000))
+	default: // long-latency ops, occasionally
+		ops := []string{"mulh", "div", "rem", "fadd", "fmul", "fdiv"}
+		g.line("\t%s %s, %s, %s", ops[g.r.intn(len(ops))], g.valReg(), g.valReg(), g.valReg())
+	}
+}

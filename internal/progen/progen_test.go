@@ -1,0 +1,116 @@
+package progen_test
+
+import (
+	"strings"
+	"testing"
+
+	"dmdp/internal/asm"
+	"dmdp/internal/emu"
+	"dmdp/internal/progen"
+)
+
+// Identical (seed, knobs) must produce byte-identical text — the seed
+// and knob vector are the only reproduction coordinates a divergence
+// report carries.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, p := range progen.Presets() {
+		a := progen.Generate(42, p.Knobs)
+		b := progen.Generate(42, p.Knobs)
+		if a != b {
+			t.Fatalf("preset %s: two generations with the same seed differ", p.Name)
+		}
+		if c := progen.Generate(43, p.Knobs); c == a {
+			t.Fatalf("preset %s: seeds 42 and 43 produced identical programs", p.Name)
+		}
+	}
+}
+
+// Every generated program must assemble and run to its halt within a
+// bounded budget: the body's only backward edge is the counted loop.
+func TestGeneratedProgramsAssembleAndTerminate(t *testing.T) {
+	for _, p := range progen.Presets() {
+		for seed := uint64(1); seed <= 25; seed++ {
+			src := progen.Generate(seed, p.Knobs)
+			prog, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("preset %s seed %d: assemble: %v\n%s", p.Name, seed, err, src)
+			}
+			tr, err := emu.Run(prog, 200_000)
+			if err != nil {
+				t.Fatalf("preset %s seed %d: emulate: %v", p.Name, seed, err)
+			}
+			if !tr.HitHalt {
+				t.Fatalf("preset %s seed %d: did not halt in 200k instructions", p.Name, seed)
+			}
+		}
+	}
+}
+
+// The knobs must actually steer the traffic mix: presets exist to cover
+// distinct store-load communication regimes, so verify the generated
+// dynamic streams differ in the advertised directions.
+func TestKnobsShapeTraffic(t *testing.T) {
+	type shape struct {
+		stores, loads, partial, dep int
+	}
+	measure := func(name string) shape {
+		k, ok := progen.PresetByName(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		var s shape
+		for seed := uint64(1); seed <= 5; seed++ {
+			prog, err := asm.Assemble(progen.Generate(seed, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := emu.Run(prog, 200_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tr.Entries {
+				e := &tr.Entries[i]
+				switch {
+				case e.IsStore():
+					s.stores++
+				case e.IsLoad():
+					s.loads++
+					if e.DepStore != 0 {
+						s.dep++
+					}
+				}
+				if (e.IsLoad() || e.IsStore()) && e.Size < 4 {
+					s.partial++
+				}
+			}
+		}
+		return s
+	}
+
+	mixed := measure("mixed")
+	if sh := measure("storeheavy"); sh.stores*mixed.loads <= sh.loads*mixed.stores {
+		t.Errorf("storeheavy store:load ratio %d:%d not above mixed %d:%d",
+			sh.stores, sh.loads, mixed.stores, mixed.loads)
+	}
+	if pa := measure("partial"); pa.partial*(mixed.stores+mixed.loads) <= mixed.partial*(pa.stores+pa.loads) {
+		t.Errorf("partial preset sub-word fraction not above mixed")
+	}
+	al := measure("aliasheavy")
+	sp := measure("sparse")
+	if al.dep*sp.loads <= sp.dep*al.loads {
+		t.Errorf("aliasheavy dependent-load fraction %d/%d not above sparse %d/%d",
+			al.dep, al.loads, sp.dep, sp.loads)
+	}
+}
+
+// The generator's header must carry the reproduction coordinates.
+func TestHeaderCarriesSeedAndKnobs(t *testing.T) {
+	k := progen.DefaultKnobs()
+	src := progen.Generate(7, k)
+	if !strings.Contains(src, "# progen seed=7") {
+		t.Errorf("header missing seed line")
+	}
+	if !strings.Contains(src, k.String()) {
+		t.Errorf("header missing knob vector %q", k)
+	}
+}

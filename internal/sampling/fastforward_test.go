@@ -1,0 +1,70 @@
+package sampling
+
+import (
+	"testing"
+
+	"dmdp/internal/config"
+	"dmdp/internal/workload"
+)
+
+// TestSampledFastForwardEquivalence covers the -sample COUNTxLEN[+WARMUP]
+// × idle-cycle fast-forward interaction: for every proxy and model, a
+// sampled run must produce identical per-interval statistics and
+// identical weighted aggregates with fast-forward on and off. Sampled
+// intervals stress the mechanism differently from full runs (PR 3's
+// equivalence test): each interval starts mid-trace on a rolled-forward
+// memory image and retires through a warmup boundary, which resets the
+// counters the fast-forward credits.
+func TestSampledFastForwardEquivalence(t *testing.T) {
+	const (
+		budget      = 12_000
+		intervalLen = 500
+		count       = 4
+		warmup      = 150
+	)
+	models := []config.Model{config.Baseline, config.NoSQ, config.DMDP, config.Perfect, config.FnF}
+	for _, bench := range workload.Names() {
+		spec, ok := workload.Get(bench)
+		if !ok {
+			t.Fatalf("workload %q missing", bench)
+		}
+		tr, err := spec.BuildTrace(budget)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		plan, err := Uniform(len(tr.Entries), intervalLen, count)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		plan = plan.WithWarmup(warmup)
+		for _, m := range models {
+			off, err := Run(tr, config.Default(m).WithFastForward(false), plan)
+			if err != nil {
+				t.Fatalf("%s/%v (ff off): %v", bench, m, err)
+			}
+			on, err := Run(tr, config.Default(m), plan)
+			if err != nil {
+				t.Fatalf("%s/%v (ff on): %v", bench, m, err)
+			}
+			if len(off.Results) != len(on.Results) {
+				t.Fatalf("%s/%v: interval counts differ: %d vs %d", bench, m, len(off.Results), len(on.Results))
+			}
+			for i := range off.Results {
+				a, b := *off.Results[i].Stats, *on.Results[i].Stats
+				a.SimWallClockNS, b.SimWallClockNS = 0, 0
+				if a != b {
+					t.Errorf("%s/%v interval %d [%d,%d): stats differ with fast-forward on\noff: %s\non:  %s",
+						bench, m, i, off.Results[i].Interval.Start, off.Results[i].Interval.End,
+						a.DigestLine(), b.DigestLine())
+				}
+			}
+			if off.WeightedIPC != on.WeightedIPC || off.WeightedMPKI != on.WeightedMPKI ||
+				off.TotalInstructions != on.TotalInstructions || off.TotalCycles != on.TotalCycles {
+				t.Errorf("%s/%v: weighted aggregates differ with fast-forward on\noff: ipc=%v mpki=%v inst=%d cyc=%d\non:  ipc=%v mpki=%v inst=%d cyc=%d",
+					bench, m,
+					off.WeightedIPC, off.WeightedMPKI, off.TotalInstructions, off.TotalCycles,
+					on.WeightedIPC, on.WeightedMPKI, on.TotalInstructions, on.TotalCycles)
+			}
+		}
+	}
+}
