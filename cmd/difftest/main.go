@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"flag"
 	"fmt"
@@ -31,9 +32,9 @@ import (
 	"dmdp/internal/cliutil"
 	"dmdp/internal/config"
 	"dmdp/internal/difftest"
-	"dmdp/internal/experiments"
 	"dmdp/internal/faults"
 	"dmdp/internal/progen"
+	"dmdp/internal/sched"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func main() {
 		minimize  = flag.Bool("minimize", true, "delta-debug divergences to a small repro")
 		outDir    = flag.String("out", "difftest-failures", "directory for divergence repro bundles")
 		verbose   = flag.Bool("v", false, "print every per-seed digest line")
+		timeout   = flag.Duration("timeout", 0, "wall-clock bound for the sweep; on expiry no new seeds start, in-flight seeds finish, and the partial summary prints (0 = none)")
 	)
 	flag.Parse()
 
@@ -82,11 +84,18 @@ func main() {
 	// Writers only touch their own slot, so output is independent of
 	// scheduling; divergences and infrastructure errors are collected
 	// under a lock (order does not matter — any one fails the sweep).
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	lines := make([][]string, *seeds)
 	var mu sync.Mutex
 	var divs []*difftest.Divergence
 	var infra []error
-	experiments.Pool(*jobs, *seeds, func(i int) {
+	started := sched.PoolCtx(ctx, *jobs, *seeds, func(i int) {
 		s := *seed + uint64(i)
 		p := presets[int(s)%len(presets)]
 		ls, div, err := difftest.RunSeed(s, p.Name, p.Knobs, opt)
@@ -126,6 +135,21 @@ func main() {
 		os.Exit(1)
 	}
 	if len(infra) > 0 {
+		os.Exit(1)
+	}
+
+	// A timed-out sweep still summarizes what ran, but claims no
+	// aggregate digest: the digest is only meaningful (and comparable
+	// across hosts and -j widths) over the full seed range.
+	if started < *seeds {
+		completed := 0
+		for _, ls := range lines {
+			if ls != nil {
+				completed++
+			}
+		}
+		fmt.Printf("difftest: PARTIAL sweep (-timeout %s): %d of %d seeds completed clean, %d never started; no aggregate digest for a partial range\n",
+			*timeout, completed, *seeds, *seeds-started)
 		os.Exit(1)
 	}
 

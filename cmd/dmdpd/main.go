@@ -1,0 +1,125 @@
+// Command dmdpd is the long-running simulation-as-a-service daemon:
+// it accepts simulation jobs over HTTP (a named proxy benchmark or an
+// inline assembly program, a machine model, an instruction budget),
+// schedules them through a bounded priority queue with per-tenant rate
+// limits, executes with per-job deadlines and panic isolation, dedups
+// identical in-flight requests, and serves results from the shared
+// artifact cache.
+//
+// Usage:
+//
+//	dmdpd -addr :8080 -j 8 -cache rw
+//	dmdpd -rate 50 -burst 20 -maxactive 64 -timeout 30s
+//	dmdpd -chaos                       # honor chaos_panic job requests
+//
+// Endpoints:
+//
+//	POST /v1/jobs   submit a job (see internal/dmdpserver for the body)
+//	GET  /healthz   liveness (200 while the process runs)
+//	GET  /readyz    readiness (503 once draining)
+//	GET  /statz     scheduler + cache + simulation counters (JSON)
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: /readyz flips to 503,
+// new jobs shed with 503 + Retry-After, queued and running jobs finish
+// (bounded by -draintimeout), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmdp/internal/cliutil"
+	"dmdp/internal/dmdpserver"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		jobs         = flag.Int("j", 0, "concurrently executing simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "pending-job queue depth (0 = 256); overflow sheds with 429")
+		rate         = flag.Float64("rate", 0, "per-tenant sustained admission rate, jobs/s (0 = unlimited)")
+		burst        = flag.Int("burst", 0, "per-tenant admission burst (0 = 16 when -rate is set)")
+		maxActive    = flag.Int("maxactive", 0, "per-tenant queued+running cap (0 = unlimited)")
+		timeout      = flag.Duration("timeout", 0, "default per-job deadline for jobs without deadline_ms (0 = unbounded)")
+		drainTimeout = flag.Duration("draintimeout", 60*time.Second, "graceful-drain bound on SIGTERM; in-flight jobs past it are cancelled")
+		instr        = flag.String("instr", "300000", "default instruction budget for jobs that omit one")
+		maxInstr     = flag.String("maxinstr", "100m", "largest budget a job may request")
+		chaos        = flag.Bool("chaos", false, "honor chaos_panic job requests (fault-tolerance testing)")
+		cache        = cliutil.RegisterCache(flag.CommandLine)
+	)
+	flag.Parse()
+
+	budget, err := cliutil.ParseInstr(*instr)
+	if err != nil {
+		fatal(fmt.Errorf("-instr: %w", err))
+	}
+	maxBudget, err := cliutil.ParseInstr(*maxInstr)
+	if err != nil {
+		fatal(fmt.Errorf("-maxinstr: %w", err))
+	}
+	store, err := cache.Open()
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := dmdpserver.New(dmdpserver.Config{
+		Workers:         *jobs,
+		QueueDepth:      *queue,
+		TenantRate:      *rate,
+		TenantBurst:     *burst,
+		TenantMaxActive: *maxActive,
+		DefaultTimeout:  *timeout,
+		DefaultBudget:   budget,
+		MaxBudget:       maxBudget,
+		Cache:           store,
+		Chaos:           *chaos,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dmdpd: listening on %s (chaos=%v, cache=%s)\n", *addr, *chaos, cache.Mode)
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "dmdpd: %v: draining (bound %s)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		fatal(err)
+	}
+
+	// Drain order: stop admitting (the scheduler sheds with 503 and
+	// /readyz flips), let queued + running jobs finish, then close the
+	// listener. Connections still streaming a result get a shutdown
+	// grace period beyond the drain bound.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dmdpd: drain: %v\n", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dmdpd: shutdown: %v\n", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	if line := store.Summary(); line != "" {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	fmt.Fprintln(os.Stderr, "dmdpd: drained, exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmdpd:", err)
+	os.Exit(1)
+}

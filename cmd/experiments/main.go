@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file")
+		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the whole suite; on expiry in-flight runs cancel cleanly and partial results + the failure table still print (0 = none)")
 		cache    = cliutil.RegisterCache(flag.CommandLine)
 	)
 	flag.Parse()
@@ -57,7 +59,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag, Cache: store}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag, Cache: store, Context: ctx}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -109,6 +117,9 @@ func main() {
 	}
 	fmt.Printf("total: %.1fs, budget %d instructions x %d benchmarks\n",
 		time.Since(start).Seconds(), budget, len(r.Benchmarks()))
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -timeout %s reached: in-flight runs were cancelled; results above and the failure table below are partial\n", *timeout)
+	}
 	if table := r.FailureTable(); table != "" {
 		fmt.Println()
 		fmt.Println("==== failed benchmark runs ====")

@@ -131,6 +131,9 @@ type Counters struct {
 	Writes                    int64
 	BytesRead, BytesWritten   int64
 	Evictions, CorruptDropped int64
+	// Degraded reports a write-failure fallback to read-only (see
+	// Store.Degraded).
+	Degraded bool
 }
 
 // Store is an on-disk artifact cache rooted at one directory. A nil
@@ -141,6 +144,16 @@ type Store struct {
 	dir      string
 	mode     Mode
 	maxBytes int64
+
+	// degraded flips (once, permanently) when a write fails — an
+	// unwritable directory at Open, ENOSPC or any other publish error.
+	// A degraded store keeps serving reads but never writes again: the
+	// cache is best-effort and the simulation must not die for it. The
+	// first degradation records a structured reason and fires warnFn.
+	degraded    atomic.Bool
+	degradeOnce sync.Once
+	degradedWhy atomic.Value // string
+	warnFn      func(msg string)
 
 	evictMu sync.Mutex // serializes size-cap walks
 
@@ -181,12 +194,61 @@ func Open(dir string, mode Mode, maxBytes int64) (*Store, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
 	}
+	s := &Store{dir: dir, mode: mode, maxBytes: maxBytes}
 	if mode != RO {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("artifact: %w", err)
+			// An unwritable cache directory must not surface as a run
+			// error: degrade to read-only (existing entries, if any,
+			// still serve) and keep simulating.
+			s.degrade(fmt.Sprintf("cache directory unusable (%v)", err))
 		}
 	}
-	return &Store{dir: dir, mode: mode, maxBytes: maxBytes}, nil
+	return s, nil
+}
+
+// SetWarnFn registers the sink for the store's one-time degradation
+// warning (nil discards it). Call before the first write. If the store
+// already degraded (e.g. during Open), fn fires immediately.
+func (s *Store) SetWarnFn(fn func(msg string)) {
+	if s == nil {
+		return
+	}
+	s.warnFn = fn
+	if fn != nil && s.degraded.Load() {
+		fn(s.DegradedReason())
+	}
+}
+
+// Degraded reports whether the store fell back to read-only after a
+// write failure (false for a nil store).
+func (s *Store) Degraded() bool { return s != nil && s.degraded.Load() }
+
+// DegradedReason returns the structured one-line reason for the
+// degradation ("" when not degraded).
+func (s *Store) DegradedReason() string {
+	if s == nil {
+		return ""
+	}
+	if why, ok := s.degradedWhy.Load().(string); ok {
+		return why
+	}
+	return ""
+}
+
+// degrade permanently flips the store to read-only with a one-time
+// structured warning. Reads keep working; every later write is a
+// silent no-op. Concurrent degradations keep the first reason.
+func (s *Store) degrade(cause string) {
+	s.degradeOnce.Do(func() {
+		msg := fmt.Sprintf(
+			"artifact: cache degraded %s -> read-only: %s (dir %s); simulation continues without persisting new entries",
+			s.mode, cause, s.dir)
+		s.degradedWhy.Store(msg)
+		s.degraded.Store(true)
+		if s.warnFn != nil {
+			s.warnFn(msg)
+		}
+	})
 }
 
 // Mode returns the store's mode (Off for a nil store).
@@ -209,7 +271,7 @@ func (s *Store) Dir() string {
 // compared.
 func (s *Store) VerifyEnabled() bool { return s != nil && s.mode == Verify }
 
-func (s *Store) writable() bool { return s != nil && s.mode != RO }
+func (s *Store) writable() bool { return s != nil && s.mode != RO && !s.degraded.Load() }
 
 // Counters returns a snapshot of the store's activity (zero for a nil
 // store).
@@ -227,6 +289,7 @@ func (s *Store) Counters() Counters {
 		BytesWritten:   s.bytesWritten.Load(),
 		Evictions:      s.evictions.Load(),
 		CorruptDropped: s.corrupt.Load(),
+		Degraded:       s.degraded.Load(),
 	}
 }
 
@@ -244,6 +307,9 @@ func (s *Store) Summary() string {
 		c.Writes, float64(c.BytesWritten)/(1<<20), float64(c.BytesRead)/(1<<20))
 	if c.Evictions > 0 || c.CorruptDropped > 0 {
 		line += fmt.Sprintf(", %d evicted, %d corrupt dropped", c.Evictions, c.CorruptDropped)
+	}
+	if s.Degraded() {
+		line += ", DEGRADED to read-only"
 	}
 	return line
 }
@@ -296,24 +362,32 @@ func (s *Store) path(key Key, suffix string) string {
 }
 
 // publish atomically installs data at path via a temp file + rename, then
-// enforces the size cap. Failures are silent (the cache is best-effort);
-// the entry simply stays absent.
+// enforces the size cap. A failed write (unwritable directory, ENOSPC
+// mid-write, rename failure) degrades the whole store to read-only with
+// a one-time warning — the entry stays absent, later writes stop being
+// attempted, and the run continues.
 func (s *Store) publish(path string, data []byte) {
 	if !s.writable() {
 		return
 	}
 	tmp, err := os.CreateTemp(s.dir, "tmp-*")
 	if err != nil {
+		s.degrade(fmt.Sprintf("cannot create cache entry (%v)", err))
 		return
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		s.degrade(fmt.Sprintf("cache entry write failed (%v)", werr))
 		return
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		s.degrade(fmt.Sprintf("cache entry publish failed (%v)", err))
 		return
 	}
 	s.writes.Add(1)

@@ -6,6 +6,7 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -64,11 +65,18 @@ func RegisterCache(fs *flag.FlagSet) *CacheFlags {
 }
 
 // Open opens the artifact store the flags describe (nil store when
-// -cache off).
+// -cache off). Write failures — an unwritable -cachedir, ENOSPC during
+// publish — degrade the store to read-only with a one-time warning on
+// stderr instead of failing the run (stdout stays byte-identical).
 func (c *CacheFlags) Open() (*artifact.Store, error) {
 	mode, err := artifact.ParseMode(c.Mode)
 	if err != nil {
 		return nil, err
 	}
-	return artifact.Open(c.Dir, mode, c.Max)
+	store, err := artifact.Open(c.Dir, mode, c.Max)
+	if err != nil {
+		return nil, err
+	}
+	store.SetWarnFn(func(msg string) { fmt.Fprintln(os.Stderr, msg) })
+	return store, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -173,6 +174,10 @@ type Core struct {
 	// (diagnostics/tests).
 	onDepMispredict func(*inst)
 
+	// progressFn, when set, receives (retired, cycle) every
+	// cancelPollInterval loop iterations (streaming stats for dmdpd).
+	progressFn func(retired, cycles int64)
+
 	// tracer, when attached, records per-instruction stage timings.
 	tracer *PipeTracer
 
@@ -221,7 +226,23 @@ func New(cfg config.Config, tr *trace.Trace) (*Core, error) {
 }
 
 // Run simulates the whole trace and returns the statistics.
-func (c *Core) Run() (*Stats, error) {
+func (c *Core) Run() (*Stats, error) { return c.RunContext(context.Background()) }
+
+// cancelPollInterval is how many cycle-loop iterations RunContext steps
+// between context polls and progress callbacks. Polling is off the hot
+// path (one counter increment per iteration; the channel read only every
+// interval), so cancellation support costs nothing measurable and does
+// not perturb simulation state: statistics are byte-identical with or
+// without a deadline, as long as it does not fire.
+const cancelPollInterval = 4096
+
+// RunContext simulates the whole trace, aborting with a structured
+// ErrCanceled SimError when ctx is cancelled or its deadline passes.
+// Cancellation is polled every cancelPollInterval loop iterations, so a
+// fired deadline surfaces within microseconds of wall clock, never
+// mid-cycle: the returned SimError carries a consistent pipeline
+// snapshot. A nil ctx behaves as context.Background().
+func (c *Core) RunContext(ctx context.Context) (*Stats, error) {
 	if len(c.tr.Entries) == 0 {
 		return &c.stats, nil
 	}
@@ -231,8 +252,27 @@ func (c *Core) Run() (*Stats, error) {
 		window = config.DefaultNoRetireWindow
 	}
 	maxCycles := c.cfg.Watchdog.MaxCycles
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	poll := 0
 	for !c.done {
 		c.step(window, maxCycles)
+		if poll++; poll >= cancelPollInterval {
+			poll = 0
+			if done != nil {
+				select {
+				case <-done:
+					c.fail(&SimError{Kind: ErrCanceled, Idx: -1,
+						Msg: fmt.Sprintf("run cancelled: %v (retired %d/%d)", ctx.Err(), c.retired, len(c.tr.Entries))})
+				default:
+				}
+			}
+			if c.progressFn != nil {
+				c.progressFn(c.retired, c.now)
+			}
+		}
 	}
 	if c.simErr != nil {
 		return nil, c.simErr
@@ -252,6 +292,12 @@ func (c *Core) Run() (*Stats, error) {
 	c.stats.SimWallClockNS = time.Since(start).Nanoseconds()
 	return &c.stats, nil
 }
+
+// SetProgressFn registers fn to observe simulation progress (retired
+// instructions, current cycle) from the cycle loop, sampled every
+// cancelPollInterval iterations. Call before Run; fn runs on the
+// simulating goroutine and must be fast. A nil fn detaches.
+func (c *Core) SetProgressFn(fn func(retired, cycles int64)) { c.progressFn = fn }
 
 // step advances the simulation by one cycle: the body of Run's loop,
 // split out so the allocation-regression guard can measure a single

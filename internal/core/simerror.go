@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -31,7 +32,18 @@ const (
 	// ErrLockstep: an external commit-stream observer (the difftest
 	// lockstep harness) rejected a retiring instruction.
 	ErrLockstep ErrKind = "lockstep"
+	// ErrCanceled: the run's context was cancelled (per-job deadline or
+	// caller shutdown) — a scheduling decision, not a simulator defect.
+	// Runners must not negative-cache it: the same inputs can succeed
+	// under a longer deadline.
+	ErrCanceled ErrKind = "canceled"
 )
+
+// Canceled reports whether err is (or wraps) a cancellation SimError.
+func Canceled(err error) bool {
+	var se *SimError
+	return errors.As(err, &se) && se.Kind == ErrCanceled
+}
 
 // retireLogCap is the depth of the retired-instruction ring buffer kept
 // for diagnostics.

@@ -1,0 +1,237 @@
+package dmdpserver
+
+// The chaos suite: the daemon under deliberately hostile load — panics
+// injected inside workers, fault-injected simulations, unmeetable
+// deadlines, a mid-flight drain, and on-disk cache corruption — with
+// three invariants checked throughout:
+//
+//  1. exactly-once: every submitted request gets exactly one terminal
+//     response, and the scheduler's books balance
+//     (accepted = completed + failed, nothing still queued or running);
+//  2. no wrong bits: every 200 carries the stats SHA a direct in-process
+//     runner computes for the same (workload, config digest, budget);
+//  3. no collateral damage: the daemon keeps serving after every fault,
+//     and no goroutines leak.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dmdp/internal/artifact"
+	"dmdp/internal/config"
+	"dmdp/internal/experiments"
+)
+
+// chaosOutcome is one request's terminal result.
+type chaosOutcome struct {
+	status int
+	kind   string
+	sha    string // stats_sha256 on 200
+	key    string // workload/model/budget identity
+}
+
+func TestChaosSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is not short")
+	}
+	leak := checkNoGoroutineLeak(t)
+	dir := t.TempDir()
+	store, err := artifact.Open(dir, artifact.RW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 4, QueueDepth: 64, Cache: store, Chaos: true,
+		DefaultBudget: testBudget, MaxBudget: 10_000_000})
+	ts := httptest.NewServer(s.Handler())
+
+	benches := []string{"hmmer", "bzip2", "gcc", "milc"}
+	models := []string{"baseline", "nosq", "dmdp", "perfect"}
+
+	// Phase 1: a mixed concurrent barrage. Deterministic mix by index:
+	// every 5th job panics in the worker, every 7th runs with fault
+	// injection, every 11th carries a 1ms deadline it cannot meet.
+	const n = 60
+	outcomes := make([]chaosOutcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := map[string]any{
+				"bench":  benches[i%len(benches)],
+				"model":  models[(i/len(benches))%len(models)],
+				"tenant": []string{"alice", "bob", "carol"}[i%3],
+			}
+			switch {
+			case i%5 == 0:
+				req["chaos_panic"] = true
+			case i%7 == 0:
+				req["flip_rate"] = 0.01
+				req["fault_seed"] = i
+			case i%11 == 0:
+				req["budget"] = "5m"
+				req["deadline_ms"] = 1
+			}
+			status, out := postJobNoFatal(ts.URL, req)
+			oc := chaosOutcome{status: status}
+			if out != nil {
+				oc.kind, _ = out["kind"].(string)
+				oc.sha, _ = out["stats_sha256"].(string)
+				if status == http.StatusOK {
+					oc.key = out["workload"].(string) + "/" + out["model"].(string) +
+						"/" + out["config_digest"].(string)
+				}
+			}
+			outcomes[i] = oc
+		}(i)
+	}
+	wg.Wait()
+
+	// Invariant 1a: every request terminated with a classified status.
+	panics, deadlines, oks := 0, 0, 0
+	byKey := map[string]string{}
+	for i, oc := range outcomes {
+		switch oc.status {
+		case http.StatusOK:
+			oks++
+			if prev, seen := byKey[oc.key]; seen && prev != oc.sha {
+				t.Fatalf("job %d: key %s returned two different stats (%s vs %s)", i, oc.key, prev, oc.sha)
+			}
+			byKey[oc.key] = oc.sha
+		case http.StatusInternalServerError:
+			if oc.kind == "panic" {
+				panics++
+			}
+		case http.StatusGatewayTimeout:
+			deadlines++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// admission control under burst — legitimate
+		default:
+			t.Fatalf("job %d: unclassified outcome %+v", i, oc)
+		}
+	}
+	if panics == 0 {
+		t.Fatal("no injected panic surfaced as a 500/panic — isolation untested")
+	}
+	if deadlines == 0 {
+		t.Fatal("no unmeetable deadline surfaced as 504 — deadline path untested")
+	}
+	if oks == 0 {
+		t.Fatal("no job succeeded under chaos")
+	}
+
+	// Invariant 1b: the scheduler's books balance.
+	c := s.sched.Stats()
+	if c.Accepted != c.Completed+c.Failed || c.QueueLen != 0 || c.Running != 0 {
+		t.Fatalf("accounting: %+v", c)
+	}
+	if c.Panics == 0 {
+		t.Fatalf("scheduler saw no panics: %+v", c)
+	}
+
+	// Invariant 2: healthy responses carry the exact bits a direct
+	// runner computes (fault-injected runs are keyed by their own
+	// config digest and compared only among themselves above).
+	direct := experiments.NewRunner(experiments.Options{Budget: testBudget, Parallel: false})
+	for _, bench := range benches {
+		for mi, m := range []config.Model{config.Baseline, config.NoSQ, config.DMDP, config.Perfect} {
+			cfg := config.Default(m)
+			key := bench + "/" + models[mi] + "/" + cfg.Digest().String()
+			sha, seen := byKey[key]
+			if !seen {
+				continue
+			}
+			st, err := direct.RunModel(bench, m)
+			if err != nil {
+				t.Fatalf("direct %s/%s: %v", bench, m, err)
+			}
+			if want := statsSHA(st.MarshalCanonical()); sha != want {
+				t.Fatalf("%s: daemon %s, direct %s — wrong bits under chaos", key, sha, want)
+			}
+		}
+	}
+
+	// Phase 2: drain mid-flight (the SIGTERM path): fire a wave, then
+	// drain while it is in the air. Every request must still terminate,
+	// with either a result or a shed — never a hang, never a loss.
+	const m = 24
+	var wg2 sync.WaitGroup
+	statuses := make([]int, m)
+	for i := 0; i < m; i++ {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			status, _ := postJobNoFatal(ts.URL, map[string]any{
+				"bench": benches[i%len(benches)], "model": "dmdp",
+			})
+			statuses[i] = status
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond) // let some of the wave take flight
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+	wg2.Wait()
+	for i, status := range statuses {
+		if status != http.StatusOK && status != http.StatusServiceUnavailable {
+			t.Fatalf("drain-wave job %d: status %d, want 200 (finished) or 503 (shed)", i, status)
+		}
+	}
+	c = s.sched.Stats()
+	if c.Accepted != c.Completed+c.Failed || c.QueueLen != 0 || c.Running != 0 {
+		t.Fatalf("post-drain accounting: %+v", c)
+	}
+	ts.Close()
+
+	// Phase 3: cache corruption. Flip bytes in every persisted result,
+	// then serve the same jobs from a fresh daemon on the same cache
+	// dir: corrupt entries must read as misses (and be dropped), and
+	// re-simulation must reproduce the exact pre-corruption bits.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.stats"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no persisted results to corrupt (%v, %d files)", err, len(entries))
+	}
+	for _, path := range entries {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			buf[i] ^= 0xA5
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store2, err := artifact.Open(dir, artifact.RW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Workers: 2, Cache: store2, DefaultBudget: testBudget})
+	ts2 := httptest.NewServer(s2.Handler())
+	for _, bench := range benches {
+		status, out := postJobNoFatal(ts2.URL, map[string]any{"bench": bench, "model": "dmdp"})
+		if status != http.StatusOK {
+			t.Fatalf("%s after corruption: status %d (%v)", bench, status, out)
+		}
+		cfg := config.Default(config.DMDP)
+		key := bench + "/dmdp/" + cfg.Digest().String()
+		if want, seen := byKey[key]; seen && out["stats_sha256"] != want {
+			t.Fatalf("%s: corrupted cache produced wrong bits (%v, want %s)", bench, out["stats_sha256"], want)
+		}
+	}
+	if cc := store2.Counters(); cc.CorruptDropped == 0 {
+		t.Fatalf("corrupt entries were not detected: %+v", cc)
+	}
+	s2.Abort()
+	ts2.Close()
+	leak()
+}

@@ -1,0 +1,223 @@
+// Package dmdpserver implements the simulation-as-a-service daemon
+// behind cmd/dmdpd: an HTTP front end over the reusable scheduling core
+// (internal/sched) and the experiments runner. Jobs — a named proxy
+// benchmark or an inline assembly program, a machine model, an
+// instruction budget — are admitted through per-tenant rate limits and
+// a bounded priority queue, executed with per-job deadlines and panic
+// isolation, deduplicated in flight, and served from the shared
+// artifact cache. The daemon drains gracefully on SIGTERM: it stops
+// accepting (503 on /readyz and /v1/jobs), finishes in-flight jobs,
+// and exits 0.
+//
+// Determinism contract: a job's stats are byte-identical to a direct
+// cmd/experiments or cmd/dmdpsim run of the same (workload, config
+// digest, budget) — the response carries the SHA-256 of the canonical
+// stats encoding so clients (cmd/dmdpload -verify, the chaos suite)
+// can prove it.
+package dmdpserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dmdp/internal/artifact"
+	"dmdp/internal/experiments"
+	"dmdp/internal/sched"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Workers is the number of concurrently executing simulations
+	// (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-job queue; a full queue sheds with
+	// 429 + Retry-After (<= 0: 256).
+	QueueDepth int
+	// TenantRate / TenantBurst / TenantMaxActive are the per-tenant
+	// admission limits (0: unlimited; see sched.Config).
+	TenantRate      float64
+	TenantBurst     int
+	TenantMaxActive int
+	// DefaultTimeout bounds jobs that do not carry a deadline_ms of
+	// their own (0: unbounded).
+	DefaultTimeout time.Duration
+	// DefaultBudget is the instruction budget for jobs that omit one
+	// (<= 0: 300_000). MaxBudget caps what a job may request
+	// (<= 0: 100_000_000).
+	DefaultBudget int64
+	MaxBudget     int64
+	// Cache is the shared persistent artifact store (nil: in-memory
+	// caching only).
+	Cache *artifact.Store
+	// Chaos enables fault-oriented job options (chaos_panic). Off by
+	// default: a production daemon refuses chaos requests with 400.
+	Chaos bool
+}
+
+func (c Config) defaultBudget() int64 {
+	if c.DefaultBudget > 0 {
+		return c.DefaultBudget
+	}
+	return 300_000
+}
+
+func (c Config) maxBudget() int64 {
+	if c.MaxBudget > 0 {
+		return c.MaxBudget
+	}
+	return 100_000_000
+}
+
+// Server is the daemon state: the scheduler, and one experiments
+// runner per instruction budget (the runner's result cache is keyed
+// per budget; runners share the artifact store underneath).
+type Server struct {
+	cfg   Config
+	sched *sched.Scheduler
+	start time.Time
+
+	mu      sync.Mutex
+	runners map[int64]*experiments.Runner
+}
+
+// New builds a Server (start its HTTP front end with Handler).
+func New(cfg Config) *Server {
+	return &Server{
+		cfg: cfg,
+		sched: sched.New(sched.Config{
+			Workers:         cfg.Workers,
+			QueueDepth:      cfg.QueueDepth,
+			TenantRate:      cfg.TenantRate,
+			TenantBurst:     cfg.TenantBurst,
+			TenantMaxActive: cfg.TenantMaxActive,
+			DefaultTimeout:  cfg.DefaultTimeout,
+		}),
+		start:   time.Now(),
+		runners: make(map[int64]*experiments.Runner),
+	}
+}
+
+// runner returns the experiments runner for one instruction budget,
+// creating it on first use. Runners run jobs on the caller's goroutine
+// (Parallel off): concurrency is the scheduler's worker pool, and the
+// runner contributes trace/result caching and in-flight dedup.
+func (s *Server) runner(budget int64) *experiments.Runner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runners[budget]
+	if !ok {
+		r = experiments.NewRunner(experiments.Options{
+			Budget: budget, Parallel: false, Cache: s.cfg.Cache,
+		})
+		s.runners[budget] = r
+	}
+	return r
+}
+
+// Sims returns the total number of actual core executions across all
+// budgets (cache hits and deduped jobs excluded).
+func (s *Server) Sims() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, r := range s.runners {
+		n += r.Sims()
+	}
+	return n
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+// Drain gracefully shuts the scheduler down: new submissions shed with
+// 503, queued and running jobs finish (bounded by ctx — an expired
+// drain cancels what remains and still resolves every handle). The
+// HTTP listener itself is the caller's to close (http.Server.Shutdown
+// after Drain returns).
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// Abort shuts down immediately (tests; the SIGTERM path uses Drain).
+func (s *Server) Abort() { s.sched.Abort() }
+
+// Draining reports whether the daemon has begun shutting down.
+func (s *Server) Draining() bool { return s.sched.Draining() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.sched.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// statzReply is the /statz JSON document.
+type statzReply struct {
+	Sched    sched.Counters    `json:"sched"`
+	Cache    artifact.Counters `json:"cache"`
+	Cached   bool              `json:"cache_enabled"`
+	Sims     int64             `json:"sims"`
+	UptimeS  float64           `json:"uptime_s"`
+	Chaos    bool              `json:"chaos"`
+	Draining bool              `json:"draining"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	reply := statzReply{
+		Sched:    s.sched.Stats(),
+		Sims:     s.Sims(),
+		UptimeS:  time.Since(s.start).Seconds(),
+		Chaos:    s.cfg.Chaos,
+		Draining: s.sched.Draining(),
+	}
+	if s.cfg.Cache != nil {
+		reply.Cache = s.cfg.Cache.Counters()
+		reply.Cached = true
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorReply is the JSON error document every non-2xx response carries.
+type errorReply struct {
+	Error      string `json:"error"`
+	Kind       string `json:"kind,omitempty"`
+	RetryAfter int    `json:"retry_after_s,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {
+	reply := errorReply{Error: msg, Kind: kind}
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		reply.RetryAfter = secs
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	writeJSON(w, status, reply)
+}

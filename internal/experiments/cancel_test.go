@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dmdp/internal/config"
+)
+
+// TestCancelledRunNotNegativelyCached: a run cut off by its context
+// fails with a structured canceled error, but the negative cache does
+// not remember it — the same machine re-simulates and succeeds once the
+// pressure is gone. (Deterministic failures, by contrast, stay cached:
+// TestFailureNegativelyCached.)
+func TestCancelledRunNotNegativelyCached(t *testing.T) {
+	r := NewRunner(Options{Budget: 50_000, Benchmarks: []string{"hmmer"}, Parallel: false})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.RunCtx(ctx, "hmmer", config.Default(config.DMDP), "dmdp")
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !IsCanceled(err) {
+		t.Fatalf("err=%v, want cancellation", err)
+	}
+	// The failure row is recorded (partial FailureTable support)...
+	if fs := r.Failures(); len(fs) != 1 {
+		t.Fatalf("failure rows: %+v", fs)
+	}
+	// ...but the result cache forgot it: the rerun simulates and succeeds.
+	st, err := r.RunModel("hmmer", config.DMDP)
+	if err != nil {
+		t.Fatalf("rerun after cancellation failed: %v", err)
+	}
+	if st.Instructions == 0 {
+		t.Fatal("rerun produced empty stats")
+	}
+}
+
+// TestWarmUpCancellation: cancelling mid-warm-up stops claiming new
+// runs, surfaces an aggregate cancellation error, and leaves the runner
+// usable for partial rendering.
+func TestWarmUpCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	r := NewRunner(Options{Budget: 300_000, Parallel: true, Jobs: 2, Context: ctx})
+	err := r.Prefetch()
+	if err == nil {
+		t.Skip("host too fast: full prefetch beat the 50ms deadline")
+	}
+	if !strings.Contains(err.Error(), "cancelled") && !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("aggregate error does not mention cancellation: %v", err)
+	}
+	// The failure table renders (partial results path does not panic).
+	_ = r.FailureTable()
+}

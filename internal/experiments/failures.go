@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,15 @@ import (
 
 	"dmdp/internal/core"
 )
+
+// IsCanceled reports whether err is a cancellation outcome — either a
+// structured core ErrCanceled SimError (deadline fired mid-simulation)
+// or a bare context error (cancelled before the run started). Canceled
+// runs are never negatively cached.
+func IsCanceled(err error) bool {
+	return core.Canceled(err) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Failure records one benchmark run the runner could not complete. The
 // hardened runner isolates faults per (benchmark, label): a failed run is
@@ -90,10 +100,12 @@ func (r *Runner) FailureTable() string {
 }
 
 // diagnosticFor extracts the structured diagnostic bundle when err wraps
-// a core.SimError.
+// a core.SimError. Cancellations carry no bundle: a deadline hit is a
+// scheduling outcome, and pages of pipeline state per cancelled run
+// would drown the failure table's real diagnostics.
 func diagnosticFor(err error) string {
 	var se *core.SimError
-	if errors.As(err, &se) {
+	if errors.As(err, &se) && se.Kind != core.ErrCanceled {
 		return se.Bundle()
 	}
 	return ""

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -17,11 +18,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmdp/internal/artifact"
 	"dmdp/internal/config"
 	"dmdp/internal/core"
 	"dmdp/internal/power"
+	"dmdp/internal/retry"
+	"dmdp/internal/sched"
 	"dmdp/internal/trace"
 	"dmdp/internal/workload"
 )
@@ -44,6 +48,22 @@ type Options struct {
 	// only). Lookups go memory -> disk -> simulate; results of failed
 	// or fault-injected runs are never persisted.
 	Cache *artifact.Store
+	// Context, when set, bounds every run the runner starts (wall-clock
+	// -timeout on the CLIs, per-service shutdown in daemons): once it is
+	// done, in-flight simulations abort with a structured canceled error
+	// and pooled warm-ups stop claiming new work. Nil means no bound.
+	Context context.Context
+	// Retry is the transient-failure policy for simulations (zero value:
+	// DefaultRetry — one immediate-ish retry with the tracer attached).
+	Retry retry.Policy
+}
+
+// DefaultRetry preserves the historical retry-once behavior with the
+// shared backoff machinery: 2 attempts, a short jittered pause between
+// them (deterministically seeded), context-aware.
+func DefaultRetry() retry.Policy {
+	return retry.Policy{MaxAttempts: 2, BaseDelay: 2 * time.Millisecond,
+		MaxDelay: 50 * time.Millisecond, Multiplier: 2, Jitter: 1, Seed: 1}
 }
 
 // DefaultOptions runs the full suite at 300k instructions per proxy.
@@ -77,6 +97,7 @@ type runResult struct {
 	err        error // bare cause; labels are attached per caller
 	panicked   bool
 	retried    bool
+	canceled   bool // context cancellation, never negative-cached
 	diagnostic string
 }
 
@@ -123,6 +144,9 @@ func NewRunner(opt Options) *Runner {
 	if len(opt.Benchmarks) == 0 {
 		opt.Benchmarks = workload.Names()
 	}
+	if opt.Retry.MaxAttempts == 0 {
+		opt.Retry = DefaultRetry()
+	}
 	return &Runner{
 		opt:    opt,
 		traces: make(map[string]*traceCall),
@@ -134,6 +158,18 @@ func NewRunner(opt Options) *Runner {
 // Cache returns the persistent store the runner was built with (nil when
 // the cache is off).
 func (r *Runner) Cache() *artifact.Store { return r.opt.Cache }
+
+// ctx returns the runner's base context (never nil).
+func (r *Runner) ctx() context.Context {
+	if r.opt.Context != nil {
+		return r.opt.Context
+	}
+	return context.Background()
+}
+
+// Sims returns the number of actual core executions so far (cache hits
+// excluded) — the /statz gauge and the warm-cache test oracle.
+func (r *Runner) Sims() int64 { return r.sims.Load() }
 
 // traceKey returns the persistent trace-store key for a benchmark
 // (ok=false for unknown names). Keys are memoized: the underlying source
@@ -237,10 +273,22 @@ func (r *Runner) traceLen(name string) int {
 // Run simulates the benchmark under cfg, caching by (benchmark, config
 // digest, budget) — the label only names the run in tables and failure
 // rows. Concurrent callers requesting the same machine share one
-// simulation. A failed run (error or panic) is retried once with the
-// pipeline tracer attached; if it fails again the failure is cached and
-// recorded (see Failures) so the rest of the suite proceeds without it.
+// simulation. A failed run (error or panic) is retried under the
+// runner's retry policy with the pipeline tracer attached; if it keeps
+// failing the failure is cached and recorded (see Failures) so the rest
+// of the suite proceeds without it.
 func (r *Runner) Run(name string, cfg config.Config, label string) (*core.Stats, error) {
+	return r.RunCtx(r.ctx(), name, cfg, label)
+}
+
+// RunCtx is Run bounded by ctx: the executing simulation aborts with a
+// structured canceled error when ctx fires. Cancellations are delivered
+// to every waiter sharing the call but are NOT negatively cached — the
+// same machine can succeed under a longer deadline, so the next request
+// re-executes. Concurrent callers still share one in-flight simulation
+// (the first caller's context governs it; attached callers inherit the
+// outcome).
+func (r *Runner) RunCtx(ctx context.Context, name string, cfg config.Config, label string) (*core.Stats, error) {
 	key := runKey{bench: name, digest: cfg.Digest(), budget: r.opt.Budget}
 	r.mu.Lock()
 	c, ok := r.calls[key]
@@ -254,17 +302,27 @@ func (r *Runner) Run(name string, cfg config.Config, label string) (*core.Stats,
 	r.calls[key] = c
 	r.mu.Unlock()
 
-	c.res = r.execute(name, cfg, label)
+	c.res = r.execute(ctx, name, cfg, label)
+	if c.res.canceled {
+		// A cancellation is a scheduling outcome, not a property of the
+		// machine: evict the negative entry so a later request (longer
+		// deadline, post-drain restart) simulates afresh.
+		r.mu.Lock()
+		if r.calls[key] == c {
+			delete(r.calls, key)
+		}
+		r.mu.Unlock()
+	}
 	c.wg.Done()
 	return r.deliver(name, label, c.res)
 }
 
 // execute performs the out-of-memory-cache simulation: persistent result
 // store first (a hit skips even the trace build; in verify mode the hit
-// is re-simulated and compared), then trace build + run with one traced
-// retry on failure. Fault-injected configurations and failed runs are
-// never persisted.
-func (r *Runner) execute(name string, cfg config.Config, label string) runResult {
+// is re-simulated and compared), then trace build + run under the retry
+// policy (later attempts carry the pipeline tracer). Fault-injected
+// configurations and failed runs are never persisted.
+func (r *Runner) execute(ctx context.Context, name string, cfg config.Config, label string) runResult {
 	resultKey, keyed := r.traceKey(name)
 	persistable := keyed && !cfg.Faults.Enabled()
 	if persistable {
@@ -273,26 +331,41 @@ func (r *Runner) execute(name string, cfg config.Config, label string) runResult
 			if !r.opt.Cache.VerifyEnabled() {
 				return runResult{st: st}
 			}
-			return r.verifyHit(name, label, cfg, resultKey, path, st)
+			return r.verifyHit(ctx, name, label, cfg, resultKey, path, st)
 		}
 	}
 	tr, err := r.Trace(name)
 	if err != nil {
 		return runResult{err: err}
 	}
-	r.sims.Add(1)
-	st, runErr, panicked := simulate(cfg, tr, false)
-	retried := false
-	if runErr != nil {
-		// Retry once, tracer attached: a transient failure recovers, a
-		// deterministic one is declared failed with diagnostics.
-		retried = true
+	var st *core.Stats
+	var runErr error
+	var panicked bool
+	attempts := 0
+	doErr := r.opt.Retry.Do(ctx, func(attempt int) error {
+		attempts = attempt
 		r.sims.Add(1)
-		st, runErr, panicked = simulate(cfg, tr, true)
+		// Later attempts run with the tracer attached: a transient
+		// failure recovers, a deterministic one is declared failed with
+		// stage-timing diagnostics.
+		st, runErr, panicked = simulate(ctx, cfg, tr, attempt > 1)
+		if runErr == nil {
+			return nil
+		}
+		if core.Canceled(runErr) {
+			return retry.Permanent(runErr) // deadline hit: retrying cannot help
+		}
+		return runErr
+	})
+	retried := attempts > 1
+	if runErr == nil && doErr != nil {
+		// Cancelled before the first attempt started.
+		runErr = doErr
 	}
 	if runErr != nil {
 		return runResult{
 			err: runErr, panicked: panicked, retried: retried,
+			canceled:   core.Canceled(runErr) || ctx.Err() != nil,
 			diagnostic: diagnosticFor(runErr),
 		}
 	}
@@ -308,16 +381,17 @@ func (r *Runner) execute(name string, cfg config.Config, label string) runResult
 // entry is stale or the simulator is nondeterministic. On success the
 // cached stats are returned (not the fresh ones), so verify-mode output
 // is byte-identical to a plain warm run.
-func (r *Runner) verifyHit(name, label string, cfg config.Config, key artifact.Key, path string, cached *core.Stats) runResult {
+func (r *Runner) verifyHit(ctx context.Context, name, label string, cfg config.Config, key artifact.Key, path string, cached *core.Stats) runResult {
 	tr, err := r.Trace(name)
 	if err != nil {
 		return runResult{err: err}
 	}
 	r.sims.Add(1)
-	fresh, runErr, panicked := simulate(cfg, tr, false)
+	fresh, runErr, panicked := simulate(ctx, cfg, tr, false)
 	if runErr != nil {
 		return runResult{
 			err: runErr, panicked: panicked,
+			canceled:   core.Canceled(runErr),
 			diagnostic: diagnosticFor(runErr),
 		}
 	}
@@ -344,9 +418,27 @@ func (r *Runner) deliver(name, label string, res runResult) (*core.Stats, error)
 	return res.st, nil
 }
 
-// simulate builds a core and runs it to completion, converting panics
-// into errors so one corrupted benchmark cannot take down the suite.
-func simulate(cfg config.Config, tr *trace.Trace, withTracer bool) (st *core.Stats, err error, panicked bool) {
+// progressKey carries a per-run progress tap in a context (see
+// WithProgress).
+type progressKey struct{}
+
+// ProgressFn observes a running simulation: retired instructions and
+// elapsed cycles, reported at the core's cancellation-poll cadence.
+type ProgressFn = func(retired, cycles int64)
+
+// WithProgress returns a context carrying a progress tap: every
+// simulation the runner starts under the returned context reports
+// (retired, cycles) periodically from the simulating goroutine. Callers
+// that serve multiple jobs attach one tap per job context, so
+// concurrent runs never interleave on a shared sink.
+func WithProgress(ctx context.Context, fn ProgressFn) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// simulate builds a core and runs it to completion under ctx, converting
+// panics into errors so one corrupted benchmark cannot take down the
+// suite.
+func simulate(ctx context.Context, cfg config.Config, tr *trace.Trace, withTracer bool) (st *core.Stats, err error, panicked bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			st = nil
@@ -358,10 +450,13 @@ func simulate(cfg config.Config, tr *trace.Trace, withTracer bool) (st *core.Sta
 	if err != nil {
 		return nil, err, false
 	}
+	if fn, ok := ctx.Value(progressKey{}).(ProgressFn); ok && fn != nil {
+		c.SetProgressFn(fn)
+	}
 	if withTracer {
 		c.AttachTracer(64)
 	}
-	st, err = c.Run()
+	st, err = c.RunContext(ctx)
 	return st, err, false
 }
 
@@ -450,10 +545,11 @@ func (r *Runner) warm(specs []RunSpec) error {
 	if len(uniq) == 0 {
 		return nil
 	}
+	ctx := r.ctx()
 
 	// Traces first: they gate every run of their proxy and their lengths
 	// drive the schedule.
-	r.forEachPooled(len(benches), func(i int) {
+	r.forEachPooled(ctx, len(benches), func(i int) {
 		r.Trace(benches[i])
 	})
 
@@ -464,55 +560,35 @@ func (r *Runner) warm(specs []RunSpec) error {
 	})
 
 	var failed atomic.Int64
-	r.forEachPooled(len(uniq), func(i int) {
-		if _, err := r.Run(uniq[i].Bench, uniq[i].Cfg, uniq[i].Label); err != nil {
+	started := r.forEachPooled(ctx, len(uniq), func(i int) {
+		if _, err := r.RunCtx(ctx, uniq[i].Bench, uniq[i].Cfg, uniq[i].Label); err != nil {
 			failed.Add(1)
 		}
 	})
+	if skipped := len(uniq) - started; skipped > 0 {
+		return fmt.Errorf("experiments: warm-up cancelled (%v): %d of %d runs never started, %d failed (see the failure table)",
+			ctx.Err(), skipped, len(uniq), failed.Load())
+	}
 	if n := failed.Load(); n > 0 {
 		return fmt.Errorf("experiments: %d of %d warm-up runs failed (see the failure table)", n, len(uniq))
 	}
 	return nil
 }
 
-// forEachPooled runs f(0..n-1) on the runner's worker pool.
-func (r *Runner) forEachPooled(n int, f func(i int)) {
-	Pool(r.jobs(), n, f)
+// forEachPooled runs f(0..n-1) on the runner's worker pool, claiming no
+// new items once ctx is done; returns the number of items started.
+func (r *Runner) forEachPooled(ctx context.Context, n int, f func(i int)) int {
+	return sched.PoolCtx(ctx, r.jobs(), n, f)
 }
 
 // Pool runs f(0..n-1) on an atomic-counter worker pool of the given
 // width (jobs <= 1 runs serially on the caller's goroutine). It is the
-// experiment runner's scheduling primitive, exported for other harnesses
-// (cmd/difftest) that need the same deterministic fan-out: work items are
-// claimed by index, so callers that write results into slot i get
-// schedule-independent output.
-func Pool(jobs, n int, f func(i int)) {
-	if jobs > n {
-		jobs = n
-	}
-	if jobs <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < jobs; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// scheduling primitive shared with other harnesses (cmd/difftest):
+// work items are claimed by index, so callers that write results into
+// slot i get schedule-independent output. It now lives in
+// internal/sched (the reusable scheduling core); this forwarder keeps
+// the historical call sites.
+func Pool(jobs, n int, f func(i int)) { sched.Pool(jobs, n, f) }
 
 // Energy evaluates the power model for a cached run.
 func (r *Runner) Energy(name string, m config.Model) (power.Result, error) {

@@ -1,0 +1,177 @@
+// Package retry implements capped exponential backoff with jitter for
+// transient failures. It is the one retry policy shared by the batch
+// experiment runner (which used to hand-roll a retry-once path) and the
+// dmdpd scheduling core: context-aware (a cancelled context aborts both
+// the sleep and the remaining attempts), deterministic when seeded (the
+// jitter PRNG is explicit, so tests and reproductions see the same delay
+// sequence), and explicit about permanent failures (a Permanent-wrapped
+// error stops the loop immediately).
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one backoff schedule. The zero value retries nothing
+// (one attempt, no delay); DefaultPolicy is the shared transient-failure
+// schedule.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (values < 1 behave as 1).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay after the first failure. Zero
+	// means no sleeping between attempts.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter exponential growth (0 = no cap).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (values <= 1 behave
+	// as 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in
+	// [0, 1]: the slept delay is uniform in [d*(1-Jitter), d]. Full
+	// jitter (1) decorrelates retry storms; 0 sleeps exactly d.
+	Jitter float64
+	// Seed initializes the jitter PRNG (0 seeds from 1, so the zero
+	// policy is still deterministic).
+	Seed int64
+	// Sleep, when set, replaces the context-aware timer sleep (tests).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultPolicy is the shared schedule for transient simulation and IO
+// failures: 3 attempts, 10ms base, 2x growth capped at 250ms, full
+// jitter.
+func DefaultPolicy() Policy {
+	return Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 250 * time.Millisecond, Multiplier: 2, Jitter: 1}
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops retrying and returns it (unwrapped
+// errors.Is/As still see the cause). A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// attempts returns the effective attempt budget.
+func (p Policy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the pre-jitter backoff before attempt (1-based: Delay(1)
+// is slept after the first failure). It is the deterministic upper bound
+// of the jittered sleep, exported so tests can assert the cap.
+func (p Policy) Delay(attempt int) time.Duration {
+	if p.BaseDelay <= 0 || attempt < 1 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	maxD := float64(p.MaxDelay)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if maxD > 0 && d >= maxD {
+			d = maxD
+			break
+		}
+	}
+	if maxD > 0 && d > maxD {
+		d = maxD
+	}
+	return time.Duration(d)
+}
+
+// jittered draws the slept delay for attempt from rng: uniform in
+// [d*(1-Jitter), d].
+func (p Policy) jittered(rng *rand.Rand, attempt int) time.Duration {
+	d := p.Delay(attempt)
+	if d <= 0 || p.Jitter <= 0 {
+		return d
+	}
+	j := p.Jitter
+	if j > 1 {
+		j = 1
+	}
+	lo := float64(d) * (1 - j)
+	return time.Duration(lo + rng.Float64()*(float64(d)-lo))
+}
+
+// sleep waits for d or until ctx is cancelled, whichever comes first.
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs f up to MaxAttempts times (attempt is 1-based), sleeping the
+// jittered backoff between failures. It returns nil on the first
+// success, f's error once attempts are exhausted, a Permanent error
+// immediately, and the context's error if ctx is cancelled before or
+// between attempts. ctx may be nil (never cancelled).
+func (p Policy) Do(ctx context.Context, f func(attempt int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := p.attempts()
+	var err error
+	for attempt := 1; attempt <= n; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return fmt.Errorf("%w (after %d attempts: %v)", cerr, attempt-1, err)
+			}
+			return cerr
+		}
+		err = f(attempt)
+		if err == nil {
+			return nil
+		}
+		if IsPermanent(err) || attempt == n {
+			return err
+		}
+		if serr := p.sleep(ctx, p.jittered(rng, attempt)); serr != nil {
+			return fmt.Errorf("%w (after %d attempts: %v)", serr, attempt, err)
+		}
+	}
+	return err
+}

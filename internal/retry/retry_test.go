@@ -1,0 +1,156 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayCap: the pre-jitter schedule grows exponentially and clamps
+// at MaxDelay, never overflowing past the cap for large attempt counts.
+func TestDelayCap(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// Attempt numbers far past the cap stay at the cap (no overflow).
+	if got := p.Delay(500); got != 80*time.Millisecond {
+		t.Errorf("Delay(500) = %v, want 80ms", got)
+	}
+}
+
+// TestJitterBounds: every jittered delay lies in [d*(1-Jitter), d], and
+// a seeded policy draws the same sequence twice.
+func TestJitterBounds(t *testing.T) {
+	for _, jitter := range []float64{0, 0.25, 0.5, 1} {
+		p := Policy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond,
+			MaxDelay: 200 * time.Millisecond, Multiplier: 2, Jitter: jitter, Seed: 42}
+		var first []time.Duration
+		for trial := 0; trial < 2; trial++ {
+			var got []time.Duration
+			p2 := p
+			p2.Sleep = func(_ context.Context, d time.Duration) error {
+				got = append(got, d)
+				return nil
+			}
+			fail := errors.New("x")
+			p2.Do(context.Background(), func(int) error { return fail })
+			if len(got) != p.MaxAttempts-1 {
+				t.Fatalf("jitter %v: slept %d times, want %d", jitter, len(got), p.MaxAttempts-1)
+			}
+			for i, d := range got {
+				upper := p.Delay(i + 1)
+				lower := time.Duration(float64(upper) * (1 - jitter))
+				if d < lower || d > upper {
+					t.Errorf("jitter %v: sleep %d = %v outside [%v, %v]", jitter, i+1, d, lower, upper)
+				}
+			}
+			if trial == 0 {
+				first = got
+			} else {
+				for i := range got {
+					if got[i] != first[i] {
+						t.Errorf("jitter %v: seeded sequence not deterministic at %d: %v vs %v", jitter, i, got[i], first[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDoSucceedsAfterTransient: a failure that clears on a later attempt
+// returns nil and consumed exactly the failing attempts.
+func TestDoSucceedsAfterTransient(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseDelay: time.Nanosecond}
+	calls := 0
+	err := p.Do(context.Background(), func(attempt int) error {
+		calls++
+		if attempt < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil/3", err, calls)
+	}
+}
+
+// TestDoExhausted: the final attempt's error is returned verbatim.
+func TestDoExhausted(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	last := errors.New("still broken")
+	calls := 0
+	if err := p.Do(context.Background(), func(int) error { calls++; return last }); !errors.Is(err, last) {
+		t.Fatalf("err=%v, want %v", err, last)
+	}
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+}
+
+// TestPermanentStopsImmediately: a Permanent error short-circuits the
+// remaining attempts and is still errors.Is-able to its cause.
+func TestPermanentStopsImmediately(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	cause := errors.New("bad input")
+	calls := 0
+	err := p.Do(context.Background(), func(int) error { calls++; return Permanent(cause) })
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+	if !errors.Is(err, cause) || !IsPermanent(err) {
+		t.Fatalf("err=%v: want permanent wrapping %v", err, cause)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must be nil")
+	}
+}
+
+// TestCancellationDuringSleep: cancelling the context while Do sleeps
+// aborts with the context error (wrapped so errors.Is sees it).
+func TestCancellationDuringSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour} // would sleep forever
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, func(int) error { calls++; return errors.New("transient") })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+}
+
+// TestCancelledBeforeStart: an already-cancelled context runs nothing.
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{MaxAttempts: 3}.Do(ctx, func(int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d, want Canceled/0", err, calls)
+	}
+}
+
+// TestZeroPolicy: the zero value is a plain single attempt.
+func TestZeroPolicy(t *testing.T) {
+	calls := 0
+	if err := (Policy{}).Do(nil, func(int) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want nil/1", err, calls)
+	}
+}

@@ -1,0 +1,52 @@
+package sched
+
+import "container/heap"
+
+// jobQueue is a bounded max-priority queue of pending jobs. Higher
+// Priority pops first; within a priority, admission order (seq) breaks
+// ties, so equal-priority scheduling is FIFO and deterministic. The
+// bound is enforced by the Scheduler (admission control), not here.
+type jobQueue struct {
+	items []*job
+}
+
+func (q *jobQueue) Len() int { return len(q.items) }
+
+func (q *jobQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *jobQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].heapIdx = i
+	q.items[j].heapIdx = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(q.items)
+	q.items = append(q.items, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	q.items = old[:n-1]
+	return j
+}
+
+func (q *jobQueue) push(j *job) { heap.Push(q, j) }
+
+func (q *jobQueue) pop() *job {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*job)
+}

@@ -1,0 +1,514 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sizes a Scheduler. The zero value gets sensible defaults
+// (GOMAXPROCS workers, 256-deep queue, no rate limits).
+type Config struct {
+	// Workers is the number of concurrently executing jobs (<= 0 means
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-job queue; a full queue sheds new
+	// submissions with ErrQueueFull (<= 0 means 256).
+	QueueDepth int
+	// TenantRate is each tenant's sustained admission rate in jobs per
+	// second (0 = unlimited); TenantBurst is the bucket capacity
+	// (<= 0 means 16 when rate limiting is on).
+	TenantRate  float64
+	TenantBurst int
+	// TenantMaxActive caps one tenant's queued + running jobs
+	// (0 = unlimited). Exceeding it sheds with ErrTenantQuota.
+	TenantMaxActive int
+	// DefaultTimeout bounds jobs that carry no deadline of their own
+	// (0 = unbounded).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) depth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 256
+}
+
+// Shed reasons: why admission control rejected a submission.
+const (
+	ShedQueueFull   = "queue-full"
+	ShedRateLimited = "rate-limited"
+	ShedTenantQuota = "tenant-quota"
+	ShedDraining    = "draining"
+)
+
+// AdmissionError reports a rejected submission. Reason is one of the
+// Shed constants; RetryAfter, when non-zero, is the server's hint for
+// when capacity should be back (an HTTP transport maps this to
+// 429 + Retry-After, or 503 for ShedDraining).
+type AdmissionError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("sched: rejected (%s), retry after %s", e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("sched: rejected (%s)", e.Reason)
+}
+
+// IsShed reports whether err is an admission rejection, returning it.
+func IsShed(err error) (*AdmissionError, bool) {
+	var ae *AdmissionError
+	ok := errors.As(err, &ae)
+	return ae, ok
+}
+
+// ErrAborted resolves jobs cut off by an expired drain: the job was
+// accepted but the service shut down before (or while) it ran. It is a
+// final result — the job is reported, not lost.
+var ErrAborted = errors.New("sched: job aborted by shutdown")
+
+// Job is one unit of work submitted to a Scheduler.
+type Job struct {
+	// Key dedups in-flight work: while a job with the same non-empty
+	// Key is queued or running, later submissions attach to it and share
+	// its result instead of executing again.
+	Key string
+	// Tenant attributes the job for rate limits and quotas ("" is a
+	// tenant like any other).
+	Tenant string
+	// Priority orders the queue (higher pops first; FIFO within a
+	// priority).
+	Priority int
+	// Deadline, when non-zero, bounds queue wait + execution: the job's
+	// context is cancelled at Deadline, and a job still queued past it
+	// fails without running.
+	Deadline time.Time
+	// Run executes the job. It must honor ctx for deadlines and drain
+	// aborts to be prompt. Panics are isolated and surface as errors.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Result is one job's final outcome. Exactly one Result is delivered
+// per accepted Handle.
+type Result struct {
+	Value    any
+	Err      error
+	Panicked bool          // Run panicked; Err carries the trimmed stack
+	Deduped  bool          // resolved by attaching to an identical in-flight job
+	Queued   time.Duration // admission -> start (0 when never started)
+	Ran      time.Duration // start -> resolution
+}
+
+// Handle tracks one accepted job.
+type Handle struct {
+	id   uint64
+	done chan struct{}
+	res  Result
+}
+
+// ID returns the scheduler-unique job id.
+func (h *Handle) ID() uint64 { return h.id }
+
+// Done is closed when the result is available.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Result blocks until the job resolves.
+func (h *Handle) Result() Result {
+	<-h.done
+	return h.res
+}
+
+// job is the scheduler's internal job record.
+type job struct {
+	Job
+	seq        uint64
+	heapIdx    int
+	enqueuedAt time.Time
+	handle     *Handle
+	waiters    []*Handle          // deduped handles sharing this result
+	cancel     context.CancelFunc // set while running
+}
+
+// Counters is a snapshot of scheduler activity (see Stats).
+type Counters struct {
+	Accepted  int64 // submissions admitted to the queue
+	Deduped   int64 // submissions attached to an in-flight job
+	Completed int64 // accepted jobs resolved without error
+	Failed    int64 // accepted jobs resolved with an error
+	Panics    int64 // failed jobs whose Run panicked
+	Expired   int64 // failed jobs whose deadline passed while queued
+	Aborted   int64 // failed jobs cut off by an expired drain
+
+	ShedQueueFull   int64
+	ShedRateLimited int64
+	ShedTenantQuota int64
+	ShedDraining    int64
+
+	QueueLen int // gauge: currently queued
+	Running  int // gauge: currently executing
+	Draining bool
+}
+
+// Scheduler is the service core: admission control in Submit, a bounded
+// priority queue, a fixed worker pool, and exactly-once resolution of
+// every accepted Handle — through completion, failure, panic, deadline
+// expiry or drain abort.
+type Scheduler struct {
+	cfg Config
+
+	mu          sync.Mutex
+	cond        *sync.Cond // wakes workers on queue push / stop
+	queue       jobQueue
+	keyed       map[string]*job // in-flight (queued or running) job per dedup key
+	tenants     map[string]*bucket
+	running     map[*job]struct{}
+	seq         uint64
+	nextID      uint64
+	outstanding int           // accepted but unresolved jobs
+	draining    bool          // no new admissions
+	stopping    bool          // workers exit when the queue is empty
+	drained     chan struct{} // closed when draining && outstanding == 0
+	execEWMA    time.Duration // smoothed job execution time (Retry-After hint)
+
+	c Counters
+
+	wg sync.WaitGroup
+}
+
+// New starts a scheduler with cfg.workers() worker goroutines. Callers
+// must end it with Drain (graceful) or Abort (immediate).
+func New(cfg Config) *Scheduler {
+	s := &Scheduler{
+		cfg:     cfg,
+		keyed:   make(map[string]*job),
+		tenants: make(map[string]*bucket),
+		running: make(map[*job]struct{}),
+		drained: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits, dedups or sheds a job. On admission the returned
+// Handle resolves exactly once; on rejection the error is an
+// *AdmissionError (or a validation error for a nil Run).
+func (s *Scheduler) Submit(j Job) (*Handle, error) {
+	if j.Run == nil {
+		return nil, errors.New("sched: job has no Run function")
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.c.ShedDraining++
+		return nil, &AdmissionError{Reason: ShedDraining}
+	}
+	if j.Key != "" {
+		if p, ok := s.keyed[j.Key]; ok {
+			h := s.newHandleLocked()
+			p.waiters = append(p.waiters, h)
+			s.c.Deduped++
+			return h, nil
+		}
+	}
+	b := s.tenants[j.Tenant]
+	if b == nil {
+		b = &bucket{}
+		s.tenants[j.Tenant] = b
+	}
+	if s.cfg.TenantMaxActive > 0 && b.active >= s.cfg.TenantMaxActive {
+		s.c.ShedTenantQuota++
+		return nil, &AdmissionError{Reason: ShedTenantQuota, RetryAfter: s.backlogHintLocked()}
+	}
+	burst := s.cfg.TenantBurst
+	if burst <= 0 {
+		burst = 16
+	}
+	if !b.take(now, s.cfg.TenantRate, burst) {
+		s.c.ShedRateLimited++
+		return nil, &AdmissionError{Reason: ShedRateLimited, RetryAfter: b.retryAfter(s.cfg.TenantRate)}
+	}
+	if s.queue.Len() >= s.cfg.depth() {
+		s.c.ShedQueueFull++
+		return nil, &AdmissionError{Reason: ShedQueueFull, RetryAfter: s.backlogHintLocked()}
+	}
+
+	s.seq++
+	jb := &job{Job: j, seq: s.seq, enqueuedAt: now, handle: s.newHandleLocked()}
+	b.active++
+	s.outstanding++
+	s.c.Accepted++
+	s.queue.push(jb)
+	if j.Key != "" {
+		s.keyed[j.Key] = jb
+	}
+	s.cond.Signal()
+	return jb.handle, nil
+}
+
+// newHandleLocked allocates a handle with the next job id.
+func (s *Scheduler) newHandleLocked() *Handle {
+	s.nextID++
+	return &Handle{id: s.nextID, done: make(chan struct{})}
+}
+
+// backlogHintLocked estimates how long until queue capacity frees up:
+// the backlog drained at the observed per-job execution time across the
+// worker pool, clamped to [1s, 60s].
+func (s *Scheduler) backlogHintLocked() time.Duration {
+	per := s.execEWMA
+	if per <= 0 {
+		per = 100 * time.Millisecond
+	}
+	d := time.Duration(float64(per) * float64(s.queue.Len()+len(s.running)) / float64(s.cfg.workers()))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// worker pops and executes jobs until stopped.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.stopping {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		jb := s.queue.pop()
+		s.running[jb] = struct{}{}
+		s.mu.Unlock()
+		s.execute(jb)
+	}
+}
+
+// execute runs one popped job with panic isolation and deadline wiring,
+// then resolves its handles.
+func (s *Scheduler) execute(jb *job) {
+	start := time.Now()
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	switch {
+	case !jb.Deadline.IsZero():
+		ctx, cancel = context.WithDeadline(ctx, jb.Deadline)
+	case s.cfg.DefaultTimeout > 0:
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+	default:
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	s.mu.Lock()
+	jb.cancel = cancel
+	aborting := s.draining && s.drainAborted()
+	s.mu.Unlock()
+
+	res := Result{Queued: start.Sub(jb.enqueuedAt)}
+	switch {
+	case aborting:
+		res.Err = ErrAborted
+	case ctx.Err() != nil:
+		// The deadline passed while the job sat in the queue: it is
+		// reported (exactly once) without consuming a worker slot.
+		res.Err = fmt.Errorf("sched: deadline passed after %s in queue: %w", res.Queued.Round(time.Millisecond), ctx.Err())
+		s.mu.Lock()
+		s.c.Expired++
+		s.mu.Unlock()
+	default:
+		res.Value, res.Err, res.Panicked = runIsolated(ctx, jb.Run)
+	}
+	cancel()
+	res.Ran = time.Since(start)
+	s.resolve(jb, res)
+}
+
+// runIsolated invokes run, converting a panic into an error so one bad
+// job cannot take down a worker (or the daemon).
+func runIsolated(ctx context.Context, run func(context.Context) (any, error)) (v any, err error, panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			v = nil
+			err = fmt.Errorf("sched: job panic: %v\n%s", rec, trimStack(debug.Stack()))
+			panicked = true
+		}
+	}()
+	v, err = run(ctx)
+	return v, err, false
+}
+
+// trimStack keeps the top frames of a panic stack.
+func trimStack(stack []byte) string {
+	lines := strings.Split(strings.TrimSpace(string(stack)), "\n")
+	const keep = 13
+	if len(lines) > keep {
+		lines = append(lines[:keep], "...")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// resolve delivers the result to the job's handle and every attached
+// waiter, releases its dedup key and tenant slot, and signals drain
+// completion when the last outstanding job ends.
+func (s *Scheduler) resolve(jb *job, res Result) {
+	s.mu.Lock()
+	if jb.Key != "" && s.keyed[jb.Key] == jb {
+		delete(s.keyed, jb.Key)
+	}
+	delete(s.running, jb)
+	if b := s.tenants[jb.Tenant]; b != nil {
+		b.active--
+	}
+	if res.Err == nil {
+		s.c.Completed++
+		// EWMA of successful execution time feeds the Retry-After hint.
+		if s.execEWMA == 0 {
+			s.execEWMA = res.Ran
+		} else {
+			s.execEWMA += (res.Ran - s.execEWMA) / 8
+		}
+	} else {
+		s.c.Failed++
+		if res.Panicked {
+			s.c.Panics++
+		}
+		if errors.Is(res.Err, ErrAborted) {
+			s.c.Aborted++
+		}
+	}
+	waiters := jb.waiters
+	jb.waiters = nil
+	s.outstanding--
+	if s.draining && s.outstanding == 0 {
+		s.closeDrainedLocked()
+	}
+	s.mu.Unlock()
+
+	jb.handle.res = res
+	close(jb.handle.done)
+	shared := res
+	shared.Deduped = true
+	for _, w := range waiters {
+		w.res = shared
+		close(w.done)
+	}
+}
+
+// drainAborted reports whether Drain's context already expired (set via
+// abortLocked having cancelled everything). Callers hold s.mu.
+func (s *Scheduler) drainAborted() bool { return s.stopping }
+
+func (s *Scheduler) closeDrainedLocked() {
+	select {
+	case <-s.drained:
+	default:
+		close(s.drained)
+	}
+}
+
+// Draining reports whether the scheduler has stopped accepting work
+// (the /readyz signal).
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats returns a snapshot of the counters and gauges.
+func (s *Scheduler) Stats() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.c
+	c.QueueLen = s.queue.Len()
+	c.Running = len(s.running)
+	c.Draining = s.draining
+	return c
+}
+
+// Drain gracefully shuts the scheduler down: new submissions are shed
+// with ErrDraining immediately, queued and running jobs finish and
+// resolve normally, then the workers exit. If ctx expires first, every
+// running job's context is cancelled and still-queued jobs resolve with
+// ErrAborted — each accepted job still gets exactly one result — and
+// Drain returns ctx's error once they have. Drain is idempotent; later
+// calls wait for the first to finish.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.outstanding == 0 {
+		s.closeDrainedLocked()
+	}
+	s.mu.Unlock()
+
+	var err error
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.abort()
+		// abort cancelled running jobs and resolved queued ones; running
+		// jobs that honor their context resolve promptly.
+		<-s.drained
+	}
+	s.mu.Lock()
+	s.stopping = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Abort shuts down without grace: equivalent to a Drain whose context
+// is already expired. Every accepted job still resolves exactly once
+// (queued with ErrAborted, running via context cancellation).
+func (s *Scheduler) Abort() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+}
+
+// abort empties the queue (resolving each entry with ErrAborted) and
+// cancels every running job's context.
+func (s *Scheduler) abort() {
+	s.mu.Lock()
+	s.draining = true
+	s.stopping = true // execute() fast-fails jobs popped after this
+	var queued []*job
+	for s.queue.Len() > 0 {
+		queued = append(queued, s.queue.pop())
+	}
+	for jb := range s.running {
+		if jb.cancel != nil {
+			jb.cancel()
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, jb := range queued {
+		s.resolve(jb, Result{Err: ErrAborted, Queued: time.Since(jb.enqueuedAt)})
+	}
+}

@@ -1,0 +1,442 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// checkNoGoroutineLeak snapshots the goroutine count and asserts (with
+// retries, since exits are asynchronous) that the count returns to the
+// baseline after the test body — a goleak-style gate without the
+// dependency.
+func checkNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if n := runtime.NumGoroutine(); n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func instantJob(v any) Job {
+	return Job{Run: func(context.Context) (any, error) { return v, nil }}
+}
+
+// TestCompletesJobs: the basic path — submit N, all resolve with their
+// values, counters add up, workers exit on drain.
+func TestCompletesJobs(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	const n = 50
+	handles := make([]*Handle, n)
+	for i := 0; i < n; i++ {
+		h, err := s.Submit(instantJob(i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		res := h.Result()
+		if res.Err != nil || res.Value.(int) != i {
+			t.Fatalf("job %d: %+v", i, res)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	c := s.Stats()
+	if c.Accepted != n || c.Completed != n || c.Failed != 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+	leak()
+}
+
+// TestGracefulDrain: SIGTERM semantics — jobs in flight when Drain
+// starts all complete normally, new submissions shed with
+// ShedDraining, Drain returns nil.
+func TestGracefulDrain(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	s := New(Config{Workers: 2, QueueDepth: 64})
+	release := make(chan struct{})
+	const n = 8
+	handles := make([]*Handle, n)
+	for i := 0; i < n; i++ {
+		h, err := s.Submit(Job{Run: func(ctx context.Context) (any, error) {
+			<-release
+			return "done", nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+	// Wait for draining to take effect, then verify shedding.
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(instantJob(nil)); err == nil {
+		t.Fatal("submit during drain should shed")
+	} else if ae, ok := IsShed(err); !ok || ae.Reason != ShedDraining {
+		t.Fatalf("err=%v, want ShedDraining", err)
+	}
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, h := range handles {
+		if res := h.Result(); res.Err != nil || res.Value != "done" {
+			t.Fatalf("job %d lost by drain: %+v", i, res)
+		}
+	}
+	leak()
+}
+
+// TestDrainTimeoutAbortsExactlyOnce: when the drain context expires,
+// running jobs are cancelled via their context and queued jobs resolve
+// with ErrAborted — every accepted handle still resolves exactly once.
+func TestDrainTimeoutAbortsExactlyOnce(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	s := New(Config{Workers: 2, QueueDepth: 64})
+	const n = 10
+	handles := make([]*Handle, n)
+	for i := 0; i < n; i++ {
+		h, err := s.Submit(Job{Run: func(ctx context.Context) (any, error) {
+			<-ctx.Done() // runs until cancelled
+			return nil, ctx.Err()
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err=%v, want deadline exceeded", err)
+	}
+	resolved := 0
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+			resolved++
+			if res := h.Result(); res.Err == nil {
+				t.Fatalf("job %d resolved without error after aborted drain", i)
+			}
+		default:
+			t.Fatalf("job %d never resolved (lost)", i)
+		}
+	}
+	if resolved != n {
+		t.Fatalf("resolved %d/%d", resolved, n)
+	}
+	c := s.Stats()
+	if c.Completed+c.Failed != c.Accepted {
+		t.Fatalf("accounting leak: %+v", c)
+	}
+	leak()
+}
+
+// TestQueueFullSheds: a saturated queue sheds with ShedQueueFull and a
+// Retry-After hint, no goroutines leak, and accounting stays exact.
+func TestQueueFullSheds(t *testing.T) {
+	leak := checkNoGoroutineLeak(t)
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	block := make(chan struct{})
+	// One running + two queued fills the service. Wait for the worker to
+	// pop the first job before filling the queue, so the depth check is
+	// deterministic.
+	var accepted []*Handle
+	for i := 0; i < 3; i++ {
+		h, err := s.Submit(Job{Run: func(context.Context) (any, error) { <-block; return nil, nil }})
+		if err != nil {
+			t.Fatalf("submit %d rejected early: %v", i, err)
+		}
+		accepted = append(accepted, h)
+		if i == 0 {
+			waitUntil(t, func() bool { return s.Stats().Running == 1 })
+		}
+	}
+
+	h, err := s.Submit(instantJob(nil))
+	if err == nil {
+		_ = h
+		t.Fatal("4th submission should shed")
+	}
+	ae, ok := IsShed(err)
+	if !ok || ae.Reason != ShedQueueFull {
+		t.Fatalf("err=%v, want ShedQueueFull", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("queue-full rejection carries no Retry-After hint: %+v", ae)
+	}
+	close(block)
+	for _, h := range accepted {
+		h.Result()
+	}
+	s.Drain(context.Background())
+	c := s.Stats()
+	if c.ShedQueueFull != 1 || c.Accepted != 3 {
+		t.Fatalf("counters: %+v", c)
+	}
+	leak()
+}
+
+// TestDedupSharesResult: concurrent submissions with one key execute
+// once; attached handles see Deduped and the same value.
+func TestDedupSharesResult(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 64})
+	defer s.Drain(context.Background())
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	run := func(context.Context) (any, error) {
+		execs.Add(1)
+		<-gate
+		return "shared", nil
+	}
+	h1, err := s.Submit(Job{Key: "k", Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attached []*Handle
+	for i := 0; i < 5; i++ {
+		h, err := s.Submit(Job{Key: "k", Run: run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		attached = append(attached, h)
+	}
+	close(gate)
+	if res := h1.Result(); res.Err != nil || res.Value != "shared" || res.Deduped {
+		t.Fatalf("primary: %+v", res)
+	}
+	for _, h := range attached {
+		if res := h.Result(); res.Err != nil || res.Value != "shared" || !res.Deduped {
+			t.Fatalf("attached: %+v", res)
+		}
+	}
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("executed %d times, want 1", n)
+	}
+	if c := s.Stats(); c.Deduped != 5 || c.Accepted != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+	// After resolution the key is free again: a new submit executes.
+	h2, err := s.Submit(Job{Key: "k", Run: func(context.Context) (any, error) { return "fresh", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h2.Result(); res.Value != "fresh" || res.Deduped {
+		t.Fatalf("post-release: %+v", res)
+	}
+}
+
+// TestPanicIsolation: a panicking job resolves with an error (stack
+// attached) and the workers keep serving.
+func TestPanicIsolation(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Drain(context.Background())
+	h, err := s.Submit(Job{Run: func(context.Context) (any, error) { panic("boom") }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Result()
+	if res.Err == nil || !res.Panicked {
+		t.Fatalf("panic not isolated: %+v", res)
+	}
+	// The single worker survived: the next job runs.
+	h2, _ := s.Submit(instantJob(7))
+	if res := h2.Result(); res.Err != nil || res.Value.(int) != 7 {
+		t.Fatalf("worker died after panic: %+v", res)
+	}
+	if c := s.Stats(); c.Panics != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+// TestDeadlineExpiredInQueue: a job whose deadline passes while queued
+// resolves with an error without ever running.
+func TestDeadlineExpiredInQueue(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Drain(context.Background())
+	block := make(chan struct{})
+	s.Submit(Job{Run: func(context.Context) (any, error) { <-block; return nil, nil }})
+	waitUntil(t, func() bool { return s.Stats().Running == 1 })
+	ran := false
+	h, err := s.Submit(Job{
+		Deadline: time.Now().Add(20 * time.Millisecond),
+		Run:      func(context.Context) (any, error) { ran = true; return nil, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	res := h.Result()
+	if res.Err == nil || !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("res=%+v, want queue-expiry error", res)
+	}
+	if ran {
+		t.Fatal("expired job still ran")
+	}
+	if c := s.Stats(); c.Expired != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+// TestRunningJobDeadline: a running job's context fires at its deadline.
+func TestRunningJobDeadline(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer s.Drain(context.Background())
+	h, err := s.Submit(Job{
+		Deadline: time.Now().Add(30 * time.Millisecond),
+		Run: func(ctx context.Context) (any, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h.Result(); !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("res=%+v, want deadline exceeded", res)
+	}
+}
+
+// TestTenantRateLimit: a tenant burns its burst, gets rate-limited with
+// a Retry-After hint, and other tenants are unaffected.
+func TestTenantRateLimit(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 1024, TenantRate: 1, TenantBurst: 3})
+	defer s.Drain(context.Background())
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(Job{Tenant: "a", Run: instantJob(nil).Run}); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	_, err := s.Submit(Job{Tenant: "a", Run: instantJob(nil).Run})
+	ae, ok := IsShed(err)
+	if !ok || ae.Reason != ShedRateLimited || ae.RetryAfter <= 0 {
+		t.Fatalf("err=%v, want rate-limited with hint", err)
+	}
+	if _, err := s.Submit(Job{Tenant: "b", Run: instantJob(nil).Run}); err != nil {
+		t.Fatalf("tenant b affected by a's limit: %v", err)
+	}
+}
+
+// TestTenantQuota: TenantMaxActive bounds one tenant's queued+running
+// jobs.
+func TestTenantQuota(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 64, TenantMaxActive: 2})
+	block := make(chan struct{})
+	blocked := func(context.Context) (any, error) { <-block; return nil, nil }
+	s.Submit(Job{Tenant: "a", Run: blocked})
+	s.Submit(Job{Tenant: "a", Run: blocked})
+	_, err := s.Submit(Job{Tenant: "a", Run: blocked})
+	if ae, ok := IsShed(err); !ok || ae.Reason != ShedTenantQuota {
+		t.Fatalf("err=%v, want tenant-quota", err)
+	}
+	if _, err := s.Submit(Job{Tenant: "b", Run: blocked}); err != nil {
+		t.Fatalf("tenant b hit a's quota: %v", err)
+	}
+	close(block)
+	s.Drain(context.Background())
+}
+
+// TestPriorityOrder: with one worker, higher-priority jobs pop first;
+// equal priorities stay FIFO.
+func TestPriorityOrder(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 64})
+	var mu sync.Mutex
+	var order []string
+	block := make(chan struct{})
+	s.Submit(Job{Run: func(context.Context) (any, error) { <-block; return nil, nil }})
+	waitUntil(t, func() bool { return s.Stats().Running == 1 })
+	add := func(name string, prio int) *Handle {
+		h, err := s.Submit(Job{Priority: prio, Run: func(context.Context) (any, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil, nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	hs := []*Handle{add("low1", 0), add("high", 5), add("low2", 0), add("mid", 3)}
+	close(block)
+	for _, h := range hs {
+		h.Result()
+	}
+	s.Drain(context.Background())
+	want := []string{"high", "mid", "low1", "low2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolCtxStopsClaiming: a cancelled context stops the pool from
+// starting new items; already-started items finish.
+func TestPoolCtxStopsClaiming(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	n := PoolCtx(ctx, 4, 1000, func(i int) {
+		if started.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if n >= 1000 {
+		t.Fatalf("started all %d items despite cancellation", n)
+	}
+	if n != int(started.Load()) {
+		t.Fatalf("PoolCtx returned %d, started %d", n, started.Load())
+	}
+}
+
+// TestPoolDeterministicCoverage: every index is claimed exactly once at
+// any width.
+func TestPoolDeterministicCoverage(t *testing.T) {
+	for _, jobs := range []int{1, 3, 8} {
+		var hits [257]atomic.Int64
+		Pool(jobs, len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("jobs=%d: index %d claimed %d times", jobs, i, hits[i].Load())
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package sched
+
+import "time"
+
+// bucket is one tenant's token bucket. Tokens refill continuously at
+// rate per second up to burst; each admitted job spends one token.
+// Access is serialized by the Scheduler's mutex.
+type bucket struct {
+	tokens float64
+	last   time.Time
+
+	// active counts the tenant's queued + running jobs (quota).
+	active int
+}
+
+// take refills by the elapsed wall clock and spends one token if
+// available. rate <= 0 disables rate limiting (always admits).
+func (b *bucket) take(now time.Time, rate float64, burst int) bool {
+	if rate <= 0 {
+		return true
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * rate
+	} else {
+		b.tokens = float64(burst) // first sight: full bucket
+	}
+	b.last = now
+	if b.tokens > float64(burst) {
+		b.tokens = float64(burst)
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// retryAfter estimates how long until the next token accrues — the
+// Retry-After hint a 429 response carries.
+func (b *bucket) retryAfter(rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	need := 1 - b.tokens
+	if need <= 0 {
+		return 0
+	}
+	d := time.Duration(need / rate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}

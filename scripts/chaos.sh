@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Daemon end-to-end chaos harness (CI: the daemon-e2e job).
+#
+# Builds dmdpd (race-instrumented) and dmdpload, then drives three
+# phases against a live daemon:
+#
+#   1. clean load with -verify: every daemon result is re-simulated
+#      in-process and compared byte-for-byte (stats_sha256);
+#   2. chaos load: worker panics, unmeetable deadlines and
+#      fault-injected runs mixed in — exactly-once accounting and
+#      sha-consistency must hold throughout;
+#   3. mid-flight SIGTERM: the daemon is terminated while jobs are in
+#      the air — in-flight jobs must finish, new ones shed with 503,
+#      the load run must lose nothing, and the daemon must exit 0.
+#
+# Exit 0 only when every phase holds its invariants.
+set -euo pipefail
+
+ADDR="127.0.0.1:${CHAOS_PORT:-18200}"
+CHAOS_N="${CHAOS_N:-200}"
+CHAOS_SECONDS="${CHAOS_SECONDS:-30}"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build (daemon race-instrumented) =="
+go build -race -o "$WORK/dmdpd" ./cmd/dmdpd
+go build -o "$WORK/dmdpload" ./cmd/dmdpload
+
+start_daemon() {
+  "$WORK/dmdpd" -addr "$ADDR" "$@" >"$WORK/dmdpd.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+      echo "daemon died on startup:"; cat "$WORK/dmdpd.log"; exit 1
+    fi
+    sleep 0.1
+  done
+  echo "daemon never became healthy"; cat "$WORK/dmdpd.log"; exit 1
+}
+
+stop_daemon() {
+  kill -TERM "$DAEMON_PID"
+  local status=0
+  wait "$DAEMON_PID" || status=$?
+  DAEMON_PID=""
+  return "$status"
+}
+
+echo "== phase 1: clean load, byte-identity verified against direct simulation =="
+start_daemon -chaos -cache rw -cachedir "$WORK/cache"
+"$WORK/dmdpload" -addr "http://$ADDR" -n "$CHAOS_N" -c 12 -seed 1 -verify
+
+echo "== phase 2: chaos load (~${CHAOS_SECONDS}s: panics, deadlines, fault injection) =="
+deadline=$((SECONDS + CHAOS_SECONDS))
+round=0
+while (( SECONDS < deadline )); do
+  round=$((round + 1))
+  "$WORK/dmdpload" -addr "http://$ADDR" -n "$CHAOS_N" -c 16 -chaos -seed "$round"
+done
+echo "chaos rounds: $round"
+
+echo "== phase 2b: daemon still healthy and accounting balanced =="
+curl -fsS "http://$ADDR/readyz" >/dev/null
+statz="$(curl -fsS "http://$ADDR/statz")"
+echo "$statz" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)["sched"]
+assert s["Accepted"] == s["Completed"] + s["Failed"], "books do not balance: %r" % s
+assert s["QueueLen"] == 0 and s["Running"] == 0, "work stuck after load: %r" % s
+assert s["Panics"] > 0, "chaos ran but no panics were isolated: %r" % s
+print("accepted=%d completed=%d failed=%d panics=%d - books balance"
+      % (s["Accepted"], s["Completed"], s["Failed"], s["Panics"]))
+'
+
+echo "== phase 3: SIGTERM mid-flight (graceful drain, nothing lost) =="
+"$WORK/dmdpload" -addr "http://$ADDR" -n "$CHAOS_N" -c 8 -seed 3 \
+  -bench lbm,mcf,sphinx3,wrf -instr 200k >"$WORK/drain-load.out" 2>&1 &
+LOAD_PID=$!
+sleep 1
+stop_daemon || { echo "daemon exited non-zero on SIGTERM"; cat "$WORK/dmdpd.log"; exit 1; }
+wait "$LOAD_PID" || { echo "load run lost jobs during drain:"; cat "$WORK/drain-load.out"; exit 1; }
+cat "$WORK/drain-load.out"
+grep -q "drained, exiting" "$WORK/dmdpd.log" || { echo "daemon did not drain cleanly:"; cat "$WORK/dmdpd.log"; exit 1; }
+
+echo "== chaos harness: all phases green =="
