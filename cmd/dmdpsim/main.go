@@ -6,24 +6,29 @@
 //	dmdpsim -bench hmmer -model dmdp -instr 300000
 //	dmdpsim -file prog.s -model nosq
 //	dmdpsim -bench gcc -sample 10x1000+200
+//	dmdpsim -bench gcc -instr 100M -sample auto -checkpoint -cache rw -j 8
 //	dmdpsim -bench gcc -cache rw
 //	dmdpsim -list
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
-	"unicode/utf8"
+	"time"
 
 	"dmdp"
 	"dmdp/internal/artifact"
+	"dmdp/internal/asm"
 	"dmdp/internal/cliutil"
+	"dmdp/internal/isa"
 	"dmdp/internal/profiling"
+	"dmdp/internal/sampling"
+	"dmdp/internal/workload"
 )
 
 func main() {
@@ -40,7 +45,10 @@ func main() {
 		list      = flag.Bool("list", false, "list proxy benchmarks and exit")
 		pipeview  = flag.Int("pipeview", 0, "render a pipeline view of the first N retired instructions")
 		src       = flag.Bool("source", false, "print the benchmark's generated assembly and exit")
-		sample    = flag.String("sample", "", "interval sampling: COUNTxLEN[+WARMUP] (e.g. 10x1000+200); prints sampled-vs-full IPC error")
+		sample    = flag.String("sample", "", "interval sampling: auto | auto:K | COUNTxLEN, optionally +WARMUP (e.g. auto:8+2k, 10x1000+200)")
+		ckpt      = flag.Bool("checkpoint", false, "persist/restore sampling checkpoints and plans in the artifact cache (needs -cache rw or ro)")
+		jobs      = flag.Int("j", 1, "sampled-interval worker-pool width (results are byte-identical at any width)")
+		sampFull  = flag.String("samplefull", "auto", "also simulate the full trace and report sampled-vs-full IPC error: auto (only for budgets <= 5M) | on | off")
 		maxCycles = flag.Int64("maxcycles", 0, "abort with a diagnostic after N simulated cycles (0 = unlimited)")
 		flipRate  = flag.Float64("flip", 0, "inject dependence-prediction flips at this rate (hardening demo)")
 		faultSeed = flag.Int64("faultseed", 1, "fault injector seed (with -flip)")
@@ -159,8 +167,31 @@ func main() {
 		return tr
 	}
 
+	// loadProg assembles the workload without emulating it — the
+	// streaming sampled path re-materializes only the planned intervals,
+	// so 100M+ budgets never hold a full trace in memory.
+	loadProg := func() (*isa.Program, error) {
+		switch {
+		case *file != "" && len(fileData) >= 4 && string(fileData[:4]) == "DMO1":
+			return isa.UnmarshalProgram(fileData)
+		case *file != "":
+			return asm.Assemble(string(fileData))
+		default:
+			s, ok := workload.Get(*benchName)
+			if !ok {
+				return nil, fmt.Errorf("unknown workload %q", *benchName)
+			}
+			return s.Program()
+		}
+	}
+
 	if *sample != "" {
-		runSampled(cfg, model, loadTrace(), *sample)
+		runSampled(sampleRun{
+			cfg: cfg, model: model, budget: budget,
+			spec: *sample, full: *sampFull, jobs: *jobs, checkpoint: *ckpt,
+			store: store, traceKey: traceKey,
+			loadTrace: loadTrace, loadProg: loadProg,
+		})
 		return
 	}
 	if *pipeview > 0 {
@@ -213,74 +244,101 @@ func workloadName(bench, file string) string {
 	return bench
 }
 
-// runSampled exercises the interval-sampling methodology (paper §V):
-// simulate COUNT intervals of LEN entries (optionally preceded by WARMUP
-// warm-up entries each), combine by weight, and report the estimate's
-// error against the full run.
-func runSampled(cfg dmdp.Config, model dmdp.Model, tr *dmdp.Trace, spec string) {
-	count, length, warmup, err := parseSampleSpec(spec)
-	if err != nil {
-		fatal(err)
-	}
-	plan, err := dmdp.UniformSampling(len(tr.Entries), length, count)
-	if err != nil {
-		fatal(err)
-	}
-	plan = plan.WithWarmup(warmup)
+// Sampled-path budget thresholds: beyond materializeLimit the sampled
+// run streams (the trace is never held in memory); beyond
+// fullCompareLimit the -samplefull auto comparison is skipped (a full
+// run would defeat the point of sampling a 100M budget).
+const (
+	materializeLimit = 16_000_000
+	fullCompareLimit = 5_000_000
+)
 
-	full, err := dmdp.Run(cfg, tr)
-	if err != nil {
-		fatal(err)
-	}
-	sampled, err := dmdp.RunSampled(cfg, tr, plan)
-	if err != nil {
-		fatal(err)
-	}
-
-	fullIPC := full.IPC()
-	errPct := 100 * (sampled.WeightedIPC - fullIPC) / fullIPC
-	fmt.Printf("model              %s\n", model)
-	fmt.Printf("sampling plan      %d x %d entries", count, length)
-	if warmup > 0 {
-		fmt.Printf(" (+%d warmup)", warmup)
-	}
-	fmt.Println()
-	fmt.Printf("sampled instrs     %d of %d (%.1f%%)\n",
-		sampled.TotalInstructions, full.Instructions,
-		100*float64(sampled.TotalInstructions)/float64(full.Instructions))
-	fmt.Printf("full IPC           %.4f\n", fullIPC)
-	fmt.Printf("sampled IPC        %.4f\n", sampled.WeightedIPC)
-	fmt.Printf("IPC error          %+.2f%%\n", errPct)
-	fmt.Printf("full MPKI          %.3f\n", full.MPKI())
-	fmt.Printf("sampled MPKI       %.3f\n", sampled.WeightedMPKI)
+// sampleRun bundles everything the sampled path needs from main.
+type sampleRun struct {
+	cfg        dmdp.Config
+	model      dmdp.Model
+	budget     int64
+	spec       string
+	full       string // -samplefull: auto | on | off
+	jobs       int
+	checkpoint bool
+	store      *artifact.Store
+	traceKey   artifact.Key
+	loadTrace  func() *dmdp.Trace
+	loadProg   func() (*isa.Program, error)
 }
 
-// parseSampleSpec parses COUNTxLEN[+WARMUP] (the x may also be a Unicode
-// multiplication sign; COUNT and LEN take the same forms as -instr).
-func parseSampleSpec(s string) (count, length, warmup int, err error) {
-	bad := func() (int, int, int, error) {
-		return 0, 0, 0, fmt.Errorf("bad -sample %q (want COUNTxLEN[+WARMUP], e.g. 10x1000+200)", s)
+// runSampled exercises the checkpointed sampling methodology (paper §V):
+// plan intervals (BBV phase clustering for auto specs, centered
+// systematic sampling otherwise), simulate them on a deterministic
+// worker pool, and combine by weight. Small budgets materialize the
+// trace; large ones stream it, restoring intervals from architectural
+// checkpoints. Timing goes to stderr so stdout stays byte-identical
+// across hosts and -j widths.
+func runSampled(r sampleRun) {
+	spec, err := cliutil.ParseSampleSpec(r.spec)
+	if err != nil {
+		fatal(fmt.Errorf("-sample: %w", err))
 	}
-	body := s
-	if i := strings.IndexByte(body, '+'); i >= 0 {
-		w, werr := strconv.Atoi(body[i+1:])
-		if werr != nil || w < 0 {
-			return bad()
+	switch r.full {
+	case "auto", "on", "off":
+	default:
+		fatal(fmt.Errorf("-samplefull %q (want auto, on or off)", r.full))
+	}
+	compareFull := r.full == "on" || (r.full == "auto" && r.budget <= fullCompareLimit)
+
+	req := sampling.Request{
+		Spec: spec, Budget: r.budget, Jobs: r.jobs,
+		Checkpoint: r.checkpoint, Store: r.store, TraceKey: r.traceKey,
+	}
+	var fullTrace *dmdp.Trace
+	if compareFull || r.budget <= materializeLimit {
+		fullTrace = r.loadTrace()
+		req.Trace = fullTrace
+	} else {
+		prog, err := r.loadProg()
+		if err != nil {
+			fatal(err)
 		}
-		warmup = w
-		body = body[:i]
+		req.Prog = prog
 	}
-	sep := strings.IndexAny(body, "xX×")
-	if sep <= 0 {
-		return bad()
+
+	start := time.Now()
+	out, err := sampling.Execute(context.Background(), r.cfg, req)
+	if err != nil {
+		fatal(err)
 	}
-	_, sepLen := utf8.DecodeRuneInString(body[sep:])
-	c, err1 := cliutil.ParseInstr(body[:sep])
-	l, err2 := cliutil.ParseInstr(body[sep+sepLen:])
-	if err1 != nil || err2 != nil || c > 1<<30 || l > 1<<30 {
-		return bad()
+	sampledWall := time.Since(start)
+
+	path := "materialized"
+	if out.Streamed {
+		path = "streamed"
 	}
-	return int(c), int(l), warmup, nil
+	if out.PlanCached {
+		path += " (cached plan)"
+	}
+	c := out.Combined
+	fmt.Printf("model              %s\n", r.model)
+	fmt.Printf("sampling spec      %s\n", spec.String())
+	fmt.Printf("sampling path      %s\n", path)
+	fmt.Printf("plan               %d intervals over %d entries\n", len(out.Plan.Intervals), out.Total)
+	fmt.Printf("sampled instrs     %d of %d (%.1f%%)\n",
+		c.TotalInstructions, out.Total,
+		100*float64(c.TotalInstructions)/float64(out.Total))
+	fmt.Printf("sampled IPC        %.4f\n", c.WeightedIPC)
+	fmt.Printf("sampled MPKI       %.3f\n", c.WeightedMPKI)
+	if compareFull {
+		full, err := dmdp.Run(r.cfg, fullTrace)
+		if err != nil {
+			fatal(err)
+		}
+		fullIPC := full.IPC()
+		fmt.Printf("full IPC           %.4f\n", fullIPC)
+		fmt.Printf("full MPKI          %.3f\n", full.MPKI())
+		fmt.Printf("IPC error          %+.2f%%\n", 100*(c.WeightedIPC-fullIPC)/fullIPC)
+	}
+	fmt.Fprintf(os.Stderr, "sampled wall clock %.3fs (%d intervals, -j %d)\n",
+		sampledWall.Seconds(), len(out.Plan.Intervals), r.jobs)
 }
 
 func parseModel(s string) (dmdp.Model, error) {

@@ -35,6 +35,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file")
 		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the whole suite; on expiry in-flight runs cancel cleanly and partial results + the failure table still print (0 = none)")
+		sample   = flag.String("sample", "", "samp-err sampling spec: auto | auto:K | COUNTxLEN, optionally +WARMUP (default: budget-derived)")
+		ckpt     = flag.Bool("checkpoint", false, "persist/restore sampling checkpoints and plans in the artifact cache during samp-err")
 		cache    = cliutil.RegisterCache(flag.CommandLine)
 	)
 	flag.Parse()
@@ -65,7 +67,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag, Cache: store, Context: ctx}
+	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag, Cache: store, Context: ctx, SampleCheckpoint: *ckpt}
+	if *sample != "" {
+		opt.Sample, err = cliutil.ParseSampleSpec(*sample)
+		if err != nil {
+			fatal(fmt.Errorf("-sample: %w", err))
+		}
+	}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}

@@ -1,0 +1,21 @@
+package artifact
+
+import "os"
+
+// readEntireOwned reads the whole file into an owned buffer. Store
+// entries whose decoders copy everything out of the raw bytes —
+// checkpoints, plans, stats — must use this instead of readEntire: the
+// mmap-backed readEntire is deliberately never unmapped (decoded traces
+// alias the mapping for the process lifetime), so routing high-frequency
+// loads through it — one checkpoint restore per interval per sampled
+// run — leaks a mapping per read until the kernel's vm.max_map_count is
+// exhausted, at which point the Go runtime aborts on its next heap
+// mapping. An empty file reads as (empty, true): a corrupt cache entry
+// for the decoder to reject, not a miss.
+func readEntireOwned(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}

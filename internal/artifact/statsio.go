@@ -53,7 +53,7 @@ func (s *Store) LoadStats(key Key) (*core.Stats, string, bool) {
 		return nil, "", false
 	}
 	path := s.path(key, resultSuffix)
-	buf, ok := readEntire(path)
+	buf, ok := readEntireOwned(path)
 	if !ok {
 		s.resultMisses.Add(1)
 		return nil, "", false

@@ -126,9 +126,13 @@ func ResultKey(traceKey Key, cfg config.Digest, budget int64) Key {
 // Counters aggregates a store's activity for the run summary. All fields
 // count events since Open.
 type Counters struct {
-	TraceHits, TraceMisses    int64
-	ResultHits, ResultMisses  int64
-	Writes                    int64
+	TraceHits, TraceMisses   int64
+	ResultHits, ResultMisses int64
+	// CheckpointHits/CheckpointMisses count checkpoint and sampling-plan
+	// artifact lookups (both kinds share the pair: a plan hit without its
+	// checkpoints still re-streams, so they degrade together).
+	CheckpointHits, CheckpointMisses int64
+	Writes                           int64
 	BytesRead, BytesWritten   int64
 	Evictions, CorruptDropped int64
 	// Degraded reports a write-failure fallback to read-only (see
@@ -169,6 +173,7 @@ type Store struct {
 
 	traceHits, traceMisses   atomic.Int64
 	resultHits, resultMisses atomic.Int64
+	ckptHits, ckptMisses     atomic.Int64
 	writes                   atomic.Int64
 	bytesRead, bytesWritten  atomic.Int64
 	evictions, corrupt       atomic.Int64
@@ -280,11 +285,13 @@ func (s *Store) Counters() Counters {
 		return Counters{}
 	}
 	return Counters{
-		TraceHits:      s.traceHits.Load(),
-		TraceMisses:    s.traceMisses.Load(),
-		ResultHits:     s.resultHits.Load(),
-		ResultMisses:   s.resultMisses.Load(),
-		Writes:         s.writes.Load(),
+		TraceHits:        s.traceHits.Load(),
+		TraceMisses:      s.traceMisses.Load(),
+		ResultHits:       s.resultHits.Load(),
+		ResultMisses:     s.resultMisses.Load(),
+		CheckpointHits:   s.ckptHits.Load(),
+		CheckpointMisses: s.ckptMisses.Load(),
+		Writes:           s.writes.Load(),
 		BytesRead:      s.bytesRead.Load(),
 		BytesWritten:   s.bytesWritten.Load(),
 		Evictions:      s.evictions.Load(),
@@ -305,6 +312,9 @@ func (s *Store) Summary() string {
 		s.mode, s.dir,
 		c.TraceHits, c.TraceMisses, c.ResultHits, c.ResultMisses,
 		c.Writes, float64(c.BytesWritten)/(1<<20), float64(c.BytesRead)/(1<<20))
+	if c.CheckpointHits > 0 || c.CheckpointMisses > 0 {
+		line += fmt.Sprintf(", checkpoints %d hit / %d miss", c.CheckpointHits, c.CheckpointMisses)
+	}
 	if c.Evictions > 0 || c.CorruptDropped > 0 {
 		line += fmt.Sprintf(", %d evicted, %d corrupt dropped", c.Evictions, c.CorruptDropped)
 	}

@@ -6,17 +6,21 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"dmdp/internal/artifact"
+	"dmdp/internal/sampling"
 )
 
 // ParseInstr parses an instruction-budget flag. Accepted forms:
 // plain decimal ("300000"), Go-style underscore grouping ("300_000"),
-// and a decimal with a k/K (×1e3) or m/M (×1e6) suffix ("300k", "3M").
-// The budget must be positive.
+// and a decimal with a k/K (×1e3), m/M (×1e6) or g/G/b/B (×1e9) suffix
+// ("300k", "3M", "2G", "1b"). The budget must be positive and the scaled
+// value must fit in int64 — huge inputs are rejected, never silently
+// wrapped.
 func ParseInstr(s string) (int64, error) {
 	in := strings.TrimSpace(s)
 	mult := int64(1)
@@ -25,6 +29,9 @@ func ParseInstr(s string) (int64, error) {
 		mult, in = 1_000, in[:len(in)-1]
 	case strings.HasSuffix(in, "m"), strings.HasSuffix(in, "M"):
 		mult, in = 1_000_000, in[:len(in)-1]
+	case strings.HasSuffix(in, "g"), strings.HasSuffix(in, "G"),
+		strings.HasSuffix(in, "b"), strings.HasSuffix(in, "B"):
+		mult, in = 1_000_000_000, in[:len(in)-1]
 	}
 	digits := strings.ReplaceAll(in, "_", "")
 	// Reject forms ParseInt would take but we don't document, and
@@ -37,10 +44,59 @@ func ParseInstr(s string) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad instruction budget %q", s)
 	}
-	if n <= 0 || n > (1<<62)/mult {
+	if n <= 0 || n > math.MaxInt64/mult {
 		return 0, fmt.Errorf("instruction budget %q out of range", s)
 	}
 	return n * mult, nil
+}
+
+// ParseSampleSpec parses a -sample flag value:
+//
+//	auto            BBV phase detection with the default phase count
+//	auto:K          BBV phase detection into at most K phases
+//	COUNTxLEN       COUNT systematic intervals of LEN entries
+//
+// Either form takes an optional +WARMUP suffix (warm-up entries prepended
+// per interval, excluded from statistics). COUNT, LEN, K and WARMUP all
+// accept ParseInstr budget syntax ("10x1m+200k").
+func ParseSampleSpec(s string) (sampling.Spec, error) {
+	var spec sampling.Spec
+	in := strings.TrimSpace(s)
+	if in == "" {
+		return spec, fmt.Errorf("empty sample spec")
+	}
+	if body, warm, ok := strings.Cut(in, "+"); ok {
+		w, err := ParseInstr(warm)
+		if err != nil || w > 1<<31 {
+			return spec, fmt.Errorf("bad sample warmup in %q", s)
+		}
+		spec.Warmup, in = int(w), body
+	}
+	if in == "auto" || strings.HasPrefix(in, "auto:") {
+		spec.Auto = true
+		if k, ok := strings.CutPrefix(in, "auto:"); ok {
+			n, err := ParseInstr(k)
+			if err != nil || n > 1<<20 {
+				return spec, fmt.Errorf("bad phase count in %q", s)
+			}
+			spec.K = int(n)
+		}
+		return spec, nil
+	}
+	count, length, ok := strings.Cut(in, "x")
+	if !ok {
+		return spec, fmt.Errorf("bad sample spec %q (want auto, auto:K or COUNTxLEN, optionally +WARMUP)", s)
+	}
+	c, err := ParseInstr(count)
+	if err != nil || c > 1<<20 {
+		return spec, fmt.Errorf("bad interval count in %q", s)
+	}
+	l, err := ParseInstr(length)
+	if err != nil || l > 1<<31 {
+		return spec, fmt.Errorf("bad interval length in %q", s)
+	}
+	spec.Count, spec.Len = int(c), int(l)
+	return spec, nil
 }
 
 // CacheFlags carries the artifact-cache flag values registered by

@@ -3,20 +3,28 @@ package cliutil
 import (
 	"flag"
 	"testing"
+
+	"dmdp/internal/sampling"
 )
 
 func TestParseInstr(t *testing.T) {
 	good := map[string]int64{
-		"1":         1,
-		"300000":    300_000,
-		"300_000":   300_000,
-		"1_000_000": 1_000_000,
-		"300k":      300_000,
-		"300K":      300_000,
-		"3m":        3_000_000,
-		"3M":        3_000_000,
-		"1_5k":      15_000, // grouping is cosmetic, not positional
-		" 20000 ":   20_000,
+		"1":                   1,
+		"300000":              300_000,
+		"300_000":             300_000,
+		"1_000_000":           1_000_000,
+		"300k":                300_000,
+		"300K":                300_000,
+		"3m":                  3_000_000,
+		"3M":                  3_000_000,
+		"1_5k":                15_000, // grouping is cosmetic, not positional
+		" 20000 ":             20_000,
+		"2g":                  2_000_000_000,
+		"2G":                  2_000_000_000,
+		"1b":                  1_000_000_000,
+		"1B":                  1_000_000_000,
+		"100M":                100_000_000,
+		"9223372036854775807": 9_223_372_036_854_775_807, // exactly MaxInt64
 	}
 	for in, want := range good {
 		got, err := ParseInstr(in)
@@ -27,10 +35,49 @@ func TestParseInstr(t *testing.T) {
 	bad := []string{
 		"", "0", "-5", "+5", "abc", "300kk", "k", "_300", "300_", "3__0",
 		"1.5k", "0x10", "300 000", "1e6", "-1k", "9223372036854775807k",
+		"g", "b", "-1g",
+		// Silent int64 overflow: each of these wraps if multiplied
+		// without the bound check.
+		"9223372036854776k", "9223372036854775808", "10000000000000000000",
+		"9300000000000000000", "19000000000g", "9223372036854b",
 	}
 	for _, in := range bad {
 		if n, err := ParseInstr(in); err == nil {
 			t.Errorf("ParseInstr(%q) = %d, want error", in, n)
+		}
+	}
+	// The largest representable g-suffixed budget must still parse.
+	if n, err := ParseInstr("9223372036g"); err != nil || n != 9_223_372_036_000_000_000 {
+		t.Errorf("ParseInstr(9223372036g) = %d, %v", n, err)
+	}
+}
+
+func TestParseSampleSpec(t *testing.T) {
+	good := map[string]sampling.Spec{
+		"auto":        {Auto: true},
+		"auto:4":      {Auto: true, K: 4},
+		"auto:12+2k":  {Auto: true, K: 12, Warmup: 2000},
+		"auto+500":    {Auto: true, Warmup: 500},
+		"10x1000":     {Count: 10, Len: 1000},
+		"10x1m":       {Count: 10, Len: 1_000_000},
+		"4x2k+500":    {Count: 4, Len: 2000, Warmup: 500},
+		"100x1m+200k": {Count: 100, Len: 1_000_000, Warmup: 200_000},
+		" 3x100 ":     {Count: 3, Len: 100},
+	}
+	for in, want := range good {
+		got, err := ParseSampleSpec(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSampleSpec(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	bad := []string{
+		"", "x", "10x", "x1000", "10x-5", "0x100", "10x0", "auto:",
+		"auto:0", "10x1000+", "autox3", "10x1000+bad", "auto:9999999999",
+		"10y1000",
+	}
+	for _, in := range bad {
+		if spec, err := ParseSampleSpec(in); err == nil {
+			t.Errorf("ParseSampleSpec(%q) = %+v, want error", in, spec)
 		}
 	}
 }

@@ -20,6 +20,8 @@ import (
 	"dmdp/internal/emu"
 	"dmdp/internal/experiments"
 	"dmdp/internal/faults"
+	"dmdp/internal/isa"
+	"dmdp/internal/sampling"
 	"dmdp/internal/sched"
 	"dmdp/internal/workload"
 )
@@ -59,6 +61,14 @@ type jobRequest struct {
 	// simulating — the chaos suite's probe that panic isolation keeps
 	// the daemon serving. Refused unless the daemon runs with -chaos.
 	ChaosPanic bool `json:"chaos_panic,omitempty"`
+	// Sample switches the job to checkpointed interval sampling:
+	// "auto", "auto:K" or "COUNTxLEN", optionally "+WARMUP" (the -sample
+	// CLI forms). Sampled jobs stream the trace — the full budget is
+	// never materialized — so 100M+ budgets stay within memory.
+	Sample string `json:"sample,omitempty"`
+	// Checkpoint persists/restores sampling checkpoints and plans in
+	// the daemon's artifact cache (sampled jobs only).
+	Checkpoint bool `json:"checkpoint,omitempty"`
 }
 
 // statsSummary is the subset of simulation statistics the response
@@ -100,6 +110,10 @@ type jobPlan struct {
 	budget   int64
 	key      string // sched dedup key
 	chaos    bool
+	// Sampled-job fields (sampled reports Sample/Checkpoint were set).
+	sampled    bool
+	sample     sampling.Spec
+	checkpoint bool
 }
 
 // parseJob validates a request into a plan.
@@ -174,6 +188,16 @@ func (s *Server) parseJob(req *jobRequest) (*jobPlan, error) {
 	}
 	p.cfg = cfg
 
+	if req.Sample != "" {
+		spec, err := cliutil.ParseSampleSpec(req.Sample)
+		if err != nil {
+			return nil, fmt.Errorf("sample: %w", err)
+		}
+		p.sampled, p.sample, p.checkpoint = true, spec, req.Checkpoint
+	} else if req.Checkpoint {
+		return nil, fmt.Errorf("checkpoint requires sample")
+	}
+
 	// The dedup key is the run's identity: two jobs with equal keys
 	// compute the same bits, so the scheduler shares one execution.
 	// Chaos panics are keyed apart — they must not poison (or ride on)
@@ -184,6 +208,12 @@ func (s *Server) parseJob(req *jobRequest) (*jobPlan, error) {
 		id = "inline/" + hex.EncodeToString(h[:])
 	}
 	p.key = fmt.Sprintf("%s/%s/%d", id, cfg.Digest().String(), budget)
+	if p.sampled {
+		// A sampled run computes different bits from a full run of the
+		// same machine (and from a differently-specified sampled run),
+		// so the spec and checkpoint mode join the identity.
+		p.key += fmt.Sprintf("/sample:%s/ckpt:%t", p.sample.String(), p.checkpoint)
+	}
 	if p.chaos {
 		p.key = "" // never dedup an injected panic
 	}
@@ -215,15 +245,51 @@ func parseBudget(raw json.RawMessage, def int64) (int64, error) {
 // experiments runner (trace/result caching, retry policy, negative
 // caching of deterministic failures); inline programs are assembled,
 // emulated and simulated here, with results persisted to the artifact
-// store unless fault injection is on.
-func (s *Server) run(ctx context.Context, p *jobPlan) (*core.Stats, error) {
+// store unless fault injection is on. Sampled jobs stream regardless of
+// workload form and return a *sampling.Combined instead of *core.Stats.
+func (s *Server) run(ctx context.Context, p *jobPlan) (any, error) {
 	if p.chaos {
 		panic("chaos: injected job panic (requested via chaos_panic)")
+	}
+	if p.sampled {
+		return s.runSampled(ctx, p)
 	}
 	if p.bench != "" {
 		return s.runner(p.budget).RunCtx(ctx, p.bench, p.cfg, p.model.String())
 	}
 	return s.runInline(ctx, p)
+}
+
+// runSampled executes a checkpointed sampled job on the streaming path:
+// the program is assembled, profiled chunk by chunk, and intervals
+// re-materialize from checkpoints — the full trace never exists in
+// memory, so budgets far beyond the daemon's full-run practicality
+// remain serviceable.
+func (s *Server) runSampled(ctx context.Context, p *jobPlan) (*sampling.Combined, error) {
+	var prog *isa.Program
+	var srcHash [sha256.Size]byte
+	var err error
+	if p.bench != "" {
+		spec, _ := workload.Get(p.bench) // validated by parseJob
+		srcHash = spec.SourceHash()
+		prog, err = spec.Program()
+	} else {
+		srcHash = sha256.Sum256([]byte(p.source))
+		prog, err = asm.Assemble(p.source)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out, err := sampling.Execute(ctx, p.cfg, sampling.Request{
+		Spec: p.sample, Budget: p.budget, Jobs: 1,
+		Checkpoint: p.checkpoint, Store: s.cfg.Cache,
+		TraceKey: artifact.TraceKey(srcHash, p.budget),
+		Prog:     prog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.Combined, nil
 }
 
 // runInline simulates an inline assembly program, using the artifact
@@ -245,7 +311,7 @@ func (s *Server) runInline(ctx context.Context, p *jobPlan) (*core.Stats, error)
 		if err != nil {
 			return nil, fmt.Errorf("assemble: %w", err)
 		}
-		tr, err = emu.Run(prog, p.budget)
+		tr, err = emu.RunCtx(ctx, prog, p.budget)
 		if err != nil {
 			return nil, err
 		}
@@ -417,12 +483,13 @@ func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, h *sched.H
 	}
 }
 
-// reply builds the terminal success document.
+// reply builds the terminal success document. Sampled jobs carry a
+// *sampling.Combined: the summary holds the weighted estimates and the
+// stats hash covers the combined canonical encoding, which is
+// byte-identical across daemons, -j widths and checkpoint warm/cold
+// runs by construction.
 func (s *Server) reply(h *sched.Handle, plan *jobPlan, res sched.Result) *jobReply {
-	st := res.Value.(*core.Stats)
-	enc := st.MarshalCanonical()
-	sum := sha256.Sum256(enc)
-	return &jobReply{
+	rep := &jobReply{
 		JobID:        h.ID(),
 		Workload:     plan.workload,
 		Model:        plan.model.String(),
@@ -431,15 +498,33 @@ func (s *Server) reply(h *sched.Handle, plan *jobPlan, res sched.Result) *jobRep
 		Deduped:      res.Deduped,
 		QueuedMS:     float64(res.Queued) / float64(time.Millisecond),
 		RunMS:        float64(res.Ran) / float64(time.Millisecond),
-		Stats: statsSummary{
-			Instructions: st.Instructions,
-			Cycles:       st.Cycles,
-			IPC:          st.IPC(),
-			MPKI:         st.MPKI(),
-		},
-		StatsSHA256: hex.EncodeToString(sum[:]),
-		DigestLine:  st.DigestLine(),
 	}
+	switch v := res.Value.(type) {
+	case *sampling.Combined:
+		enc := v.MarshalCanonical()
+		sum := sha256.Sum256(enc)
+		rep.Stats = statsSummary{
+			Instructions: v.TotalInstructions,
+			Cycles:       v.TotalCycles,
+			IPC:          v.WeightedIPC,
+			MPKI:         v.WeightedMPKI,
+		}
+		rep.StatsSHA256 = hex.EncodeToString(sum[:])
+		rep.DigestLine = fmt.Sprintf("sampled %s intervals=%d ipc=%.6f mpki=%.6f",
+			plan.sample.String(), len(v.Results), v.WeightedIPC, v.WeightedMPKI)
+	case *core.Stats:
+		enc := v.MarshalCanonical()
+		sum := sha256.Sum256(enc)
+		rep.Stats = statsSummary{
+			Instructions: v.Instructions,
+			Cycles:       v.Cycles,
+			IPC:          v.IPC(),
+			MPKI:         v.MPKI(),
+		}
+		rep.StatsSHA256 = hex.EncodeToString(sum[:])
+		rep.DigestLine = v.DigestLine()
+	}
+	return rep
 }
 
 // errStatus maps a job failure to an HTTP status and error kind.

@@ -1,0 +1,86 @@
+package dmdpserver
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dmdp/internal/artifact"
+	"dmdp/internal/config"
+	"dmdp/internal/sampling"
+	"dmdp/internal/workload"
+)
+
+// TestSampledJobMatchesDirectExecute: a sampled daemon job computes the
+// same bits as sampling.Execute run directly on the streaming path.
+func TestSampledJobMatchesDirectExecute(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, out := postJob(t, ts.URL, map[string]any{
+		"bench": "gcc", "model": "dmdp", "sample": "4x2k+500",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	if dl, _ := out["digest_line"].(string); !strings.Contains(dl, "sampled 4x2000+500") {
+		t.Fatalf("digest line %q does not identify the sampled run", out["digest_line"])
+	}
+
+	spec, _ := workload.Get("gcc")
+	prog, err := spec.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sampling.Execute(context.Background(), config.Default(config.DMDP), sampling.Request{
+		Spec:   sampling.Spec{Count: 4, Len: 2000, Warmup: 500},
+		Budget: testBudget, Jobs: 1,
+		TraceKey: artifact.TraceKey(spec.SourceHash(), testBudget),
+		Prog:     prog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := statsSHA(direct.Combined.MarshalCanonical()); out["stats_sha256"] != want {
+		t.Fatalf("daemon sampled sha %v, direct %v — results diverge", out["stats_sha256"], want)
+	}
+
+	// Same job again: identical bits, and the dedup key kept it apart
+	// from any full run of the same machine (different digest_line).
+	code2, out2 := postJob(t, ts.URL, map[string]any{
+		"bench": "gcc", "model": "dmdp", "sample": "4x2k+500",
+	})
+	if code2 != http.StatusOK || out2["stats_sha256"] != out["stats_sha256"] {
+		t.Fatalf("resubmission diverged: %d %v vs %v", code2, out2["stats_sha256"], out["stats_sha256"])
+	}
+}
+
+// TestSampledJobValidation: bad specs and checkpoint-without-sample are
+// rejected up front, not at run time.
+func TestSampledJobValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, body := range []map[string]any{
+		{"bench": "gcc", "sample": "nonsense"},
+		{"bench": "gcc", "sample": "0x100"},
+		{"bench": "gcc", "checkpoint": true},
+	} {
+		if code, out := postJob(t, ts.URL, body); code != http.StatusBadRequest {
+			t.Fatalf("body %v: status %d (%v), want 400", body, code, out)
+		}
+	}
+}
+
+// TestSampledInlineJob: the inline-source path streams and samples too.
+func TestSampledInlineJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	code, out := postJob(t, ts.URL, map[string]any{
+		"source": inlineProgram, "model": "baseline", "budget": "30k", "sample": "3x1k",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	st, _ := out["stats"].(map[string]any)
+	if st == nil || st["instructions"].(float64) != 3000 {
+		t.Fatalf("sampled inline stats: %v", out)
+	}
+}

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"dmdp/internal/config"
+	"dmdp/internal/trace"
 )
 
 // TestCancelledRunNotNegativelyCached: a run cut off by its context
@@ -36,6 +38,39 @@ func TestCancelledRunNotNegativelyCached(t *testing.T) {
 	}
 	if st.Instructions == 0 {
 		t.Fatal("rerun produced empty stats")
+	}
+}
+
+// TestCancelledTraceBuildStructuredError: the emulator polls the
+// runner's base context during trace builds, so a canceled runner
+// aborts a build mid-way with a structured *trace.BuildCanceled error
+// instead of emulating the full budget first — under the old code a
+// drained daemon still paid the entire O(budget) emulation. The
+// canceled build is evicted from the negative result cache exactly like
+// a canceled run.
+func TestCancelledTraceBuildStructuredError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(Options{Budget: 200_000, Benchmarks: []string{"gcc"}, Parallel: false, Context: ctx})
+	_, err := r.RunCtx(context.Background(), "gcc", config.Default(config.DMDP), "dmdp")
+	if err == nil {
+		t.Fatal("build under a canceled runner returned nil error")
+	}
+	var bc *trace.BuildCanceled
+	if !errors.As(err, &bc) {
+		t.Fatalf("err=%v, want a *trace.BuildCanceled cause", err)
+	}
+	if bc.Entries >= 200_000 {
+		t.Fatalf("build ran to completion (%d entries) despite cancellation", bc.Entries)
+	}
+	if !IsCanceled(err) {
+		t.Fatalf("structured build-cancel error must unwrap to a context error: %v", err)
+	}
+	r.mu.Lock()
+	cached := len(r.calls)
+	r.mu.Unlock()
+	if cached != 0 {
+		t.Fatal("canceled build was negatively cached")
 	}
 }
 

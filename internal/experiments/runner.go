@@ -25,6 +25,7 @@ import (
 	"dmdp/internal/core"
 	"dmdp/internal/power"
 	"dmdp/internal/retry"
+	"dmdp/internal/sampling"
 	"dmdp/internal/sched"
 	"dmdp/internal/trace"
 	"dmdp/internal/workload"
@@ -56,6 +57,12 @@ type Options struct {
 	// Retry is the transient-failure policy for simulations (zero value:
 	// DefaultRetry — one immediate-ish retry with the tracer attached).
 	Retry retry.Policy
+	// Sample overrides the samp-err experiment's sampling spec (zero
+	// value: a budget-derived default, see Runner.sampSpec).
+	Sample sampling.Spec
+	// SampleCheckpoint persists/restores sampling checkpoints and plans
+	// in Cache during sampled runs.
+	SampleCheckpoint bool
 }
 
 // DefaultRetry preserves the historical retry-once behavior with the
@@ -242,7 +249,10 @@ func (r *Runner) Trace(name string) (*trace.Trace, error) {
 			}
 		}
 		if c.tr == nil {
-			c.tr, c.err = s.BuildTrace(r.opt.Budget)
+			// Builds poll the runner's base context: a daemon drain or
+			// deadline aborts a multi-minute 100M-entry emulation mid-way
+			// instead of running it to completion first.
+			c.tr, c.err = s.BuildTraceCtx(r.ctx(), r.opt.Budget)
 			if c.err == nil && kok {
 				r.opt.Cache.StoreTrace(key, c.tr)
 			}
@@ -336,7 +346,10 @@ func (r *Runner) execute(ctx context.Context, name string, cfg config.Config, la
 	}
 	tr, err := r.Trace(name)
 	if err != nil {
-		return runResult{err: err}
+		// A canceled build is a scheduling outcome like a canceled run:
+		// flag it so RunCtx evicts the negative cache entry and a later
+		// request (longer deadline) rebuilds.
+		return runResult{err: err, canceled: IsCanceled(err)}
 	}
 	var st *core.Stats
 	var runErr error
@@ -634,6 +647,7 @@ func All() []Experiment {
 		{"abl-inval", "Ablation: remote invalidation traffic (§IV-F)", AblInvalidations, AblInvalidationsRuns},
 		{"alt-fnf", "Alt: Fire-and-Forget comparison (§VII)", AltFnF, AltFnFRuns},
 		{"abl-prefetch", "Ablation: next-line L1 prefetcher", AblPrefetch, AblPrefetchRuns},
+		{"samp-err", "Methodology: sampled-vs-full IPC error (§V)", SampErr, SampErrRuns},
 	}
 }
 

@@ -151,6 +151,20 @@ func (m *Image) ForEachPage(fn func(base uint32, data *[PageSize]byte)) {
 	}
 }
 
+// PageCopy returns a copy of the allocated page whose base address is
+// base (page-aligned), or ok=false when that page was never written.
+// Unlike the read accessors it does not touch the one-slot translation
+// cache, so it is safe to call on an image shared by concurrent readers.
+func (m *Image) PageCopy(base uint32) (*[PageSize]byte, bool) {
+	p := m.pages[base>>pageShift]
+	if p == nil {
+		return nil, false
+	}
+	cp := new([pageSize]byte)
+	*cp = *p
+	return cp, true
+}
+
 // SetPage installs a full page at the page-aligned base address,
 // overwriting any existing page (the deserialization counterpart of
 // ForEachPage).

@@ -1,0 +1,64 @@
+package sampling
+
+import "testing"
+
+// TestUniformCoverage pins the SMARTS-style centering fix: intervals are
+// centered within their strides, so the trace tail is reachable and entry
+// 0 is not unconditionally sampled (the old i*stride placement always
+// measured entry 0 and never the traceLen mod count remainder).
+func TestUniformCoverage(t *testing.T) {
+	cases := []struct{ traceLen, intervalLen, count int }{
+		{100_000, 1_000, 10},
+		{100, 10, 3},
+		{99_999, 777, 13},
+		{60_000, 18_000, 3},
+		{50, 10, 5}, // tight packing: stride == intervalLen
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		p, err := Uniform(c.traceLen, c.intervalLen, c.count)
+		if err != nil {
+			t.Fatalf("Uniform(%d,%d,%d): %v", c.traceLen, c.intervalLen, c.count, err)
+		}
+		if len(p.Intervals) != c.count {
+			t.Fatalf("Uniform(%d,%d,%d): %d intervals", c.traceLen, c.intervalLen, c.count, len(p.Intervals))
+		}
+		stride := c.traceLen / c.count
+		prevEnd := 0
+		for i, iv := range p.Intervals {
+			if iv.Start < 0 || iv.End > c.traceLen || iv.End-iv.Start != c.intervalLen {
+				t.Fatalf("case %+v interval %d out of bounds: [%d,%d)", c, i, iv.Start, iv.End)
+			}
+			if iv.Start < prevEnd {
+				t.Fatalf("case %+v interval %d overlaps previous (start %d < prev end %d)",
+					c, i, iv.Start, prevEnd)
+			}
+			prevEnd = iv.End
+		}
+		// Tail coverage: the last interval must land inside the final
+		// stride, i.e. past the region the head-biased plan could reach.
+		last := p.Intervals[c.count-1]
+		if last.End <= c.traceLen-stride {
+			t.Errorf("case %+v: tail never sampled (last end %d, final stride starts at %d)",
+				c, last.End, c.traceLen-stride)
+		}
+		// No head bias: when the stride leaves room, entry 0 is not part
+		// of the sample.
+		if stride > c.intervalLen && p.Intervals[0].Start == 0 {
+			t.Errorf("case %+v: entry 0 always sampled (head bias)", c)
+		}
+	}
+}
+
+// The old placement sampled [0,1000) and stopped at 91000 for this shape;
+// centered sampling must include the 10_000-entry remainder region.
+func TestUniformTailRemainderSampled(t *testing.T) {
+	p, err := Uniform(100_000+9_999, 1_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := p.Intervals[len(p.Intervals)-1]
+	if last.End <= 100_000 {
+		t.Fatalf("remainder tail unsampled: last interval [%d,%d)", last.Start, last.End)
+	}
+}

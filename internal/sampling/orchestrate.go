@@ -1,0 +1,219 @@
+package sampling
+
+import (
+	"context"
+	"fmt"
+
+	"dmdp/internal/artifact"
+	"dmdp/internal/config"
+	"dmdp/internal/isa"
+	"dmdp/internal/trace"
+)
+
+// Request describes one sampled simulation for Execute. Exactly one of
+// Trace (an already-materialized trace) or Prog (streamed emulation, for
+// budgets too large to materialize) must be set.
+type Request struct {
+	Spec   Spec
+	Budget int64
+	// Jobs is the interval worker-pool width (<=1 serial). Results are
+	// byte-identical at any width.
+	Jobs int
+	// Checkpoint enables persisting/consuming checkpoints (and, on the
+	// streaming path, plans) in Store under TraceKey.
+	Checkpoint bool
+	Store      *artifact.Store
+	TraceKey   artifact.Key
+
+	Trace *trace.Trace
+	Prog  *isa.Program
+}
+
+// Outcome is a sampled simulation result plus the plan that produced it.
+type Outcome struct {
+	Combined *Combined
+	Plan     Plan
+	// Total is the executed/observed instruction count the plan was laid
+	// out over; Streamed reports the streaming (never-materialized) path.
+	Total    int64
+	Streamed bool
+	// PlanCached reports that the plan (and stream geometry) came from
+	// the artifact cache, skipping the profiling pass entirely.
+	PlanCached bool
+}
+
+// autoChunkLen picks the BBV chunk length (= checkpoint spacing and
+// representative interval length) for an auto plan: 1% of the budget,
+// clamped to [1k, 1M] and to the budget itself.
+func autoChunkLen(budget int64) int {
+	c := budget / 100
+	if c < 1000 {
+		c = 1000
+	}
+	if c > 1_000_000 {
+		c = 1_000_000
+	}
+	if c > budget {
+		c = budget
+	}
+	return int(c)
+}
+
+// Execute plans and runs one sampled simulation end to end:
+//
+//   - materialized path (req.Trace): the plan is computed over the trace
+//     (BBV clustering for auto specs, centered systematic sampling
+//     otherwise) and intervals are extracted in one rolling pass — or
+//     restored from persisted image checkpoints when Checkpoint is set.
+//   - streaming path (req.Prog): one chunked emulator pass computes BBVs
+//     and captures architectural checkpoints without materializing the
+//     trace; intervals are then re-materialized independently (and in
+//     parallel) from their nearest checkpoint. With Checkpoint set, the
+//     plan and checkpoints persist, so a re-run skips the profiling pass.
+//
+// Either way the intervals run on a deterministic worker pool and combine
+// into a Combined that is byte-identical at any Jobs width.
+func Execute(ctx context.Context, cfg config.Config, req Request) (*Outcome, error) {
+	if err := req.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if (req.Trace == nil) == (req.Prog == nil) {
+		return nil, fmt.Errorf("sampling: exactly one of Trace or Prog must be set")
+	}
+	if req.Trace != nil {
+		return executeMaterialized(ctx, cfg, req)
+	}
+	return executeStreamed(ctx, cfg, req)
+}
+
+func executeMaterialized(ctx context.Context, cfg config.Config, req Request) (*Outcome, error) {
+	tr := req.Trace
+	total := len(tr.Entries)
+	var plan Plan
+	var err error
+	if req.Spec.Auto {
+		chunkLen := autoChunkLen(int64(total))
+		plan, err = AutoPlan(ChunkBBVs(tr.Entries, chunkLen), chunkLen, req.Spec.Phases())
+	} else {
+		plan, err = Uniform(total, req.Spec.Len, req.Spec.Count)
+	}
+	if err != nil {
+		return nil, err
+	}
+	plan.Warmup = req.Spec.Warmup
+	src, err := NewTraceSource(tr, plan, req.Store, req.TraceKey, req.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	comb, err := RunPlan(ctx, cfg, plan, src, req.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Combined: comb, Plan: plan, Total: int64(total)}, nil
+}
+
+func executeStreamed(ctx context.Context, cfg config.Config, req Request) (*Outcome, error) {
+	// Checkpoint spacing is budget-derived for systematic specs too, not
+	// Spec.Len: tying it to the interval length made `-sample 1x1000` at a
+	// 100M budget snapshot 100k checkpoints (each an O(dirty pages) delta —
+	// quadratic, effectively a hang), while a 50M interval length would
+	// have buffered a 2.8 GB chunk. Interval extraction only needs *some*
+	// checkpoint at or before each begin; the spacing bounds the re-emulated
+	// prefix, so 1% of budget (clamped to [1k, 1M]) serves every spec.
+	chunkLen := autoChunkLen(req.Budget)
+	out := &Outcome{Streamed: true}
+	var plan Plan
+
+	// A cached plan (only trusted when checkpoints were persisted with
+	// it) skips the profiling pass: the stream is reopened with just the
+	// recorded geometry and intervals restore from stored checkpoints.
+	planKey := artifact.PlanKey(req.TraceKey, req.Spec.String(), PlannerVersion)
+	var stream *Stream
+	if req.Checkpoint && req.Store != nil {
+		if rec, ok := req.Store.LoadPlan(planKey); ok && rec.ChunkLen == int64(chunkLen) && planRecordValid(rec) {
+			plan = planFromRecord(rec)
+			stream = OpenStream(req.Prog, chunkLen, rec.Total, rec.HitHalt, req.Store, req.TraceKey)
+			out.Total, out.PlanCached = rec.Total, true
+		}
+	}
+	if stream == nil {
+		s, err := BuildStream(ctx, req.Prog, req.Budget, chunkLen, req.Store, req.TraceKey, req.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		if req.Spec.Auto {
+			plan, err = s.AutoPlan(req.Spec.Phases())
+		} else {
+			plan, err = Uniform(int(s.Total), req.Spec.Len, req.Spec.Count)
+		}
+		if err != nil {
+			return nil, err
+		}
+		plan.Warmup = req.Spec.Warmup
+		if req.Checkpoint && req.Store != nil {
+			req.Store.StorePlan(planKey, planToRecord(plan, s))
+		}
+		stream, out.Total = s, s.Total
+	}
+	plan.Warmup = req.Spec.Warmup
+	comb, err := RunPlan(ctx, cfg, plan, stream.Source(plan), req.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	out.Combined, out.Plan = comb, plan
+	return out, nil
+}
+
+// ChunkBBVs computes the basic-block vector of every full chunkLen-sized
+// chunk of entries (the materialized-trace counterpart of the streaming
+// profiling pass).
+func ChunkBBVs(entries []trace.Entry, chunkLen int) [][BBVDim]float64 {
+	var out [][BBVDim]float64
+	var acc BBVAccum
+	for i := 0; i+chunkLen <= len(entries); i += chunkLen {
+		for j := i; j < i+chunkLen; j++ {
+			acc.Add(&entries[j])
+		}
+		out = append(out, acc.Finish())
+	}
+	return out
+}
+
+func planToRecord(p Plan, s *Stream) *artifact.PlanRecord {
+	rec := &artifact.PlanRecord{
+		ChunkLen: int64(s.ChunkLen),
+		Total:    s.Total,
+		Warmup:   int64(p.Warmup),
+		HitHalt:  s.HitHalt,
+	}
+	for _, iv := range p.Intervals {
+		rec.Intervals = append(rec.Intervals, artifact.PlanInterval{
+			Start: int64(iv.Start), End: int64(iv.End), Weight: iv.Weight,
+		})
+	}
+	return rec
+}
+
+func planFromRecord(rec *artifact.PlanRecord) Plan {
+	p := Plan{Warmup: int(rec.Warmup)}
+	for _, iv := range rec.Intervals {
+		p.Intervals = append(p.Intervals, Interval{
+			Start: int(iv.Start), End: int(iv.End), Weight: iv.Weight,
+		})
+	}
+	return p
+}
+
+// planRecordValid sanity-checks a decoded plan record before trusting it
+// (a structurally valid file can still carry an impossible plan).
+func planRecordValid(rec *artifact.PlanRecord) bool {
+	if rec.Total <= 0 || len(rec.Intervals) == 0 || rec.Warmup < 0 {
+		return false
+	}
+	for _, iv := range rec.Intervals {
+		if iv.Start < 0 || iv.End <= iv.Start || iv.End > rec.Total || iv.Weight <= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -8,8 +8,10 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 
+	"dmdp/internal/artifact"
 	"dmdp/internal/config"
 	"dmdp/internal/core"
 	"dmdp/internal/trace"
@@ -43,6 +45,12 @@ func (p Plan) WithWarmup(n int) Plan {
 // Uniform builds a plan of count intervals of length intervalLen spread
 // evenly across a trace of traceLen entries, equally weighted (systematic
 // sampling — the degenerate SimPoint configuration).
+//
+// Each interval is centered within its stride (SMARTS-style systematic
+// sampling). Starting intervals at i*stride instead would bias sampling
+// toward the head: entry 0 would always be measured and the traceLen mod
+// count tail would never be, which systematically misestimates programs
+// whose phases drift over time.
 func Uniform(traceLen, intervalLen, count int) (Plan, error) {
 	if traceLen <= 0 || intervalLen <= 0 || count <= 0 {
 		return Plan{}, fmt.Errorf("sampling: non-positive plan parameters")
@@ -52,9 +60,18 @@ func Uniform(traceLen, intervalLen, count int) (Plan, error) {
 			count, intervalLen, traceLen)
 	}
 	var p Plan
-	stride := traceLen / count
 	for i := 0; i < count; i++ {
-		start := i * stride
+		// Center of stride i in real arithmetic is (2i+1)*traceLen/(2*count);
+		// consecutive centers are >= stride >= intervalLen apart, so the
+		// intervals never overlap.
+		center := ((2*int64(i) + 1) * int64(traceLen)) / int64(2*count)
+		start := int(center) - intervalLen/2
+		if start < 0 {
+			start = 0
+		}
+		if start+intervalLen > traceLen {
+			start = traceLen - intervalLen
+		}
 		p.Intervals = append(p.Intervals, Interval{
 			Start:  start,
 			End:    start + intervalLen,
@@ -114,49 +131,13 @@ type Combined struct {
 }
 
 // Run simulates every interval of the plan under cfg and combines the
-// results by weight.
+// results by weight. It is the serial convenience wrapper around RunPlan;
+// use RunPlan directly for parallel execution, checkpoint-backed interval
+// extraction or cancellation.
 func Run(tr *trace.Trace, cfg config.Config, plan Plan) (*Combined, error) {
-	if len(plan.Intervals) == 0 {
-		return nil, fmt.Errorf("sampling: empty plan")
+	src, err := NewTraceSource(tr, plan, nil, artifact.Key{}, false)
+	if err != nil {
+		return nil, err
 	}
-	var out Combined
-	var wsum float64
-	for _, iv := range plan.Intervals {
-		// Extend the slice backwards by the warmup amount (clamped at
-		// the trace start) and discard that prefix from the statistics.
-		warm := plan.Warmup
-		if warm > iv.Start {
-			warm = iv.Start
-		}
-		wiv := Interval{Start: iv.Start - warm, End: iv.End, Weight: iv.Weight}
-		sub, err := Slice(tr, wiv)
-		if err != nil {
-			return nil, err
-		}
-		runCfg := cfg
-		runCfg.WarmupInstructions = int64(warm)
-		c, err := core.New(runCfg, sub)
-		if err != nil {
-			return nil, err
-		}
-		st, err := c.Run()
-		if err != nil {
-			return nil, fmt.Errorf("sampling: interval [%d,%d): %w", iv.Start, iv.End, err)
-		}
-		out.Results = append(out.Results, IntervalResult{Interval: iv, Stats: st})
-		if st.Instructions != int64(iv.End-iv.Start) {
-			return nil, fmt.Errorf("sampling: interval [%d,%d) measured %d instructions",
-				iv.Start, iv.End, st.Instructions)
-		}
-		out.WeightedIPC += iv.Weight * st.IPC()
-		out.WeightedMPKI += iv.Weight * st.MPKI()
-		out.TotalInstructions += st.Instructions
-		out.TotalCycles += st.Cycles
-		wsum += iv.Weight
-	}
-	if wsum > 0 {
-		out.WeightedIPC /= wsum
-		out.WeightedMPKI /= wsum
-	}
-	return &out, nil
+	return RunPlan(context.Background(), cfg, plan, src, 1)
 }

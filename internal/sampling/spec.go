@@ -1,0 +1,57 @@
+package sampling
+
+import "fmt"
+
+// DefaultPhases is the cluster count used by auto plans when the spec
+// does not name one.
+const DefaultPhases = 8
+
+// Spec is a parsed -sample flag: either an automatic BBV/k-means plan
+// ("auto", "auto:K", optionally "+WARMUP") or an explicit systematic plan
+// ("COUNTxLEN", optionally "+WARMUP").
+type Spec struct {
+	// Auto selects BBV phase detection; K is the cluster count (0 means
+	// DefaultPhases).
+	Auto bool
+	K    int
+	// Count intervals of Len entries each (explicit plans only).
+	Count, Len int
+	// Warmup entries are prepended to each interval and excluded from
+	// the statistics.
+	Warmup int
+}
+
+// Phases returns the resolved cluster count for auto specs.
+func (s Spec) Phases() int {
+	if s.K > 0 {
+		return s.K
+	}
+	return DefaultPhases
+}
+
+// String renders the canonical spec form (resolved defaults included).
+// It doubles as the spec component of persisted plan cache keys, so two
+// specs that plan identically must render identically.
+func (s Spec) String() string {
+	if s.Auto {
+		return fmt.Sprintf("auto:%d+%d", s.Phases(), s.Warmup)
+	}
+	return fmt.Sprintf("%dx%d+%d", s.Count, s.Len, s.Warmup)
+}
+
+// Validate rejects specs that cannot produce a plan.
+func (s Spec) Validate() error {
+	if s.Warmup < 0 {
+		return fmt.Errorf("sampling: negative warmup %d", s.Warmup)
+	}
+	if s.Auto {
+		if s.K < 0 {
+			return fmt.Errorf("sampling: negative phase count %d", s.K)
+		}
+		return nil
+	}
+	if s.Count <= 0 || s.Len <= 0 {
+		return fmt.Errorf("sampling: explicit spec needs positive COUNTxLEN, got %dx%d", s.Count, s.Len)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package sampling
+
+import (
+	"context"
+	"fmt"
+
+	"dmdp/internal/artifact"
+	"dmdp/internal/emu"
+	"dmdp/internal/isa"
+	"dmdp/internal/mem"
+	"dmdp/internal/trace"
+)
+
+// Stream is the checkpointed, chunked view of one program's execution:
+// the product of a single emulator pass that never materializes the full
+// trace. It records per-chunk basic-block vectors (for phase detection)
+// and captures an architectural checkpoint at every chunk boundary, so
+// any interval can later be re-materialized by restoring the nearest
+// checkpoint and re-emulating at most one chunk — instead of replaying
+// from instruction zero.
+type Stream struct {
+	Prog *isa.Program
+	// Init is the pristine initial memory image (program data segment).
+	Init *mem.Image
+	// ChunkLen is the checkpoint spacing and BBV chunk length.
+	ChunkLen int
+	// Total is the number of instructions actually executed (below the
+	// budget when the program halted early); HitHalt reports which.
+	Total   int64
+	HitHalt bool
+	// BBVs holds one basic-block vector per full chunk, in chunk order
+	// (empty for streams reopened from a cached plan).
+	BBVs [][BBVDim]float64
+
+	store    *artifact.Store
+	traceKey artifact.Key
+	// cks holds in-memory checkpoints keyed by instruction index. When a
+	// writable store persists checkpoints, only checkpoint 0 is kept here
+	// (the store serves the rest); otherwise all boundaries are kept.
+	cks map[int64]*emu.Checkpoint
+}
+
+// BuildStream executes prog for at most budget instructions in chunks of
+// chunkLen, computing per-chunk BBVs and capturing a checkpoint at every
+// chunk boundary. With persist set and a writable store, checkpoints are
+// published under (traceKey, boundary index) and dropped from memory.
+// Cancellation surfaces as *trace.BuildCanceled.
+func BuildStream(ctx context.Context, prog *isa.Program, budget int64, chunkLen int, store *artifact.Store, traceKey artifact.Key, persist bool) (*Stream, error) {
+	if chunkLen <= 0 {
+		return nil, fmt.Errorf("sampling: chunk length %d must be positive", chunkLen)
+	}
+	e := emu.New(prog)
+	s := &Stream{
+		Prog:     prog,
+		Init:     e.Mem.Clone(),
+		ChunkLen: chunkLen,
+		store:    store,
+		traceKey: traceKey,
+		cks:      map[int64]*emu.Checkpoint{},
+	}
+	offload := persist && store != nil && store.Mode() != artifact.RO
+	dirty := map[uint32]bool{}
+	var bases []uint32 // reused dirty-base scratch
+	var acc BBVAccum
+
+	s.addCheckpoint(e.Snapshot(nil), offload) // boundary 0: no dirty pages yet
+	total, hitHalt, err := trace.ForEachChunk(ctx, e, budget, chunkLen,
+		func(start int64, chunk []trace.Entry) error {
+			for i := range chunk {
+				ent := &chunk[i]
+				if ent.IsStore() {
+					for b := uint32(0); b < uint32(ent.Size); b++ {
+						dirty[(ent.Addr+b)&^uint32(mem.PageSize-1)] = true
+					}
+				}
+			}
+			if len(chunk) == chunkLen {
+				for i := range chunk {
+					acc.Add(&chunk[i])
+				}
+				s.BBVs = append(s.BBVs, acc.Finish())
+			}
+			end := start + int64(len(chunk))
+			if end < budget && !e.Halted() {
+				bases = bases[:0]
+				for base := range dirty {
+					bases = append(bases, base)
+				}
+				s.addCheckpoint(e.Snapshot(bases), offload)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	s.Total, s.HitHalt = total, hitHalt
+	return s, nil
+}
+
+func (s *Stream) addCheckpoint(ck *emu.Checkpoint, offload bool) {
+	if offload {
+		s.store.StoreCheckpoint(artifact.CheckpointKey(s.traceKey, ck.At), ck)
+		if ck.At != 0 {
+			return
+		}
+	}
+	s.cks[ck.At] = ck
+}
+
+// OpenStream reopens a stream whose plan (and therefore chunk geometry
+// and totals) was loaded from the plan cache, without re-executing the
+// program. Interval extraction restores persisted checkpoints; any miss
+// degrades to re-emulation from an earlier boundary or from the start.
+func OpenStream(prog *isa.Program, chunkLen int, total int64, hitHalt bool, store *artifact.Store, traceKey artifact.Key) *Stream {
+	e := emu.New(prog)
+	return &Stream{
+		Prog:     prog,
+		Init:     e.Mem.Clone(),
+		ChunkLen: chunkLen,
+		Total:    total,
+		HitHalt:  hitHalt,
+		store:    store,
+		traceKey: traceKey,
+		cks:      map[int64]*emu.Checkpoint{},
+	}
+}
+
+// AutoPlan clusters the stream's BBVs into at most k phases.
+func (s *Stream) AutoPlan(k int) (Plan, error) {
+	return AutoPlan(s.BBVs, s.ChunkLen, k)
+}
+
+// checkpointAt returns the checkpoint at instruction index at, consulting
+// memory first, then the store. Nil when neither has a usable one.
+func (s *Stream) checkpointAt(at int64) *emu.Checkpoint {
+	if ck := s.cks[at]; ck != nil {
+		return ck
+	}
+	if ck, ok := s.store.LoadCheckpoint(artifact.CheckpointKey(s.traceKey, at)); ok && ck.At == at && ck.HasArch {
+		return ck
+	}
+	return nil
+}
+
+// resumeAt returns an emulator positioned at instruction index begin by
+// restoring the nearest checkpoint at or below begin and fast-forwarding
+// the remainder. Missing or corrupt checkpoints degrade to the next
+// older boundary and ultimately to re-emulation from the program start —
+// slower, never wrong.
+func (s *Stream) resumeAt(begin int64) (*emu.Emulator, error) {
+	for ci := begin / int64(s.ChunkLen); ci >= 0; ci-- {
+		at := ci * int64(s.ChunkLen)
+		ck := s.checkpointAt(at)
+		if ck == nil {
+			continue
+		}
+		e, err := emu.Resume(s.Prog, s.Init, ck)
+		if err != nil {
+			continue
+		}
+		if err := e.StepN(begin - at); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	e := emu.New(s.Prog)
+	if err := e.StepN(begin); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Source binds a plan to the stream for RunPlan. Interval extraction is
+// safe for concurrent workers: each call resumes its own emulator, and
+// the shared checkpoint map is read-only after the build.
+func (s *Stream) Source(plan Plan) Source {
+	return &streamSource{s: s, plan: plan}
+}
+
+type streamSource struct {
+	s    *Stream
+	plan Plan
+}
+
+func (ss *streamSource) IntervalTrace(i int) (*trace.Trace, int, error) {
+	iv := ss.plan.Intervals[i]
+	if iv.Start < 0 || int64(iv.End) > ss.s.Total || iv.Start >= iv.End {
+		return nil, 0, fmt.Errorf("sampling: interval [%d,%d) out of range (stream %d)",
+			iv.Start, iv.End, ss.s.Total)
+	}
+	begin, warm := beginOf(ss.plan, i)
+	e, err := ss.s.resumeAt(int64(begin))
+	if err != nil {
+		return nil, 0, fmt.Errorf("sampling: interval [%d,%d): %w", iv.Start, iv.End, err)
+	}
+	init := e.Mem.Clone()
+	sub, err := trace.Collect(e, int64(iv.End-begin), ss.s.Prog, init)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sampling: interval [%d,%d): %w", iv.Start, iv.End, err)
+	}
+	if len(sub.Entries) != iv.End-begin {
+		return nil, 0, fmt.Errorf("sampling: interval [%d,%d): stream replay produced %d of %d entries",
+			iv.Start, iv.End, len(sub.Entries), iv.End-begin)
+	}
+	// Match the materialized Slice contract: an interval is an excerpt,
+	// not a program that halted.
+	sub.HitHalt = false
+	return sub, warm, nil
+}

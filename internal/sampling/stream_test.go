@@ -1,0 +1,266 @@
+package sampling
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmdp/internal/artifact"
+	"dmdp/internal/config"
+	"dmdp/internal/workload"
+)
+
+func execRequest(t *testing.T, bench string, budget int64) (Request, Request) {
+	t.Helper()
+	s, ok := workload.Get(bench)
+	if !ok {
+		t.Fatalf("unknown bench %s", bench)
+	}
+	tr, err := s.BuildTrace(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := s.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.TraceKey(s.SourceHash(), budget)
+	mat := Request{Budget: budget, Trace: tr, TraceKey: key}
+	str := Request{Budget: budget, Prog: prog, TraceKey: key}
+	return mat, str
+}
+
+// TestStreamMatchesMaterialized is the core equivalence oracle of the
+// streaming path: re-materializing intervals from checkpoints + emulator
+// replay must give byte-identical combined stats to slicing a fully
+// materialized trace.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	cfg := config.Default(config.DMDP)
+	spec := Spec{Count: 4, Len: 2_000, Warmup: 500}
+	mat, str := execRequest(t, "gcc", 50_000)
+	mat.Spec, str.Spec = spec, spec
+
+	a, err := Execute(context.Background(), cfg, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(context.Background(), cfg, str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Streamed || a.Streamed {
+		t.Fatal("path selection wrong")
+	}
+	if !bytes.Equal(a.Combined.MarshalCanonical(), b.Combined.MarshalCanonical()) {
+		t.Fatalf("streamed result differs from materialized:\nmat IPC %f\nstr IPC %f",
+			a.Combined.WeightedIPC, b.Combined.WeightedIPC)
+	}
+}
+
+func TestStreamAutoPlanMatchesMaterializedAuto(t *testing.T) {
+	cfg := config.Default(config.DMDP)
+	spec := Spec{Auto: true, K: 4}
+	mat, str := execRequest(t, "sjeng", 60_000)
+	mat.Spec, str.Spec = spec, spec
+	a, err := Execute(context.Background(), cfg, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(context.Background(), cfg, str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Plan.Intervals) == 0 || len(a.Plan.Intervals) > 4 {
+		t.Fatalf("auto plan size %d", len(a.Plan.Intervals))
+	}
+	if !bytes.Equal(a.Combined.MarshalCanonical(), b.Combined.MarshalCanonical()) {
+		t.Fatal("auto plans diverge between materialized and streamed paths")
+	}
+}
+
+// TestExecuteParallelByteIdentical: the -j determinism contract at the
+// Execute level (the full 21-proxy sweep lives in the root package's
+// determinism test).
+func TestExecuteParallelByteIdentical(t *testing.T) {
+	cfg := config.Default(config.DMDP)
+	spec := Spec{Count: 6, Len: 1_500, Warmup: 300}
+	_, str := execRequest(t, "mcf", 40_000)
+	str.Spec = spec
+	var ref []byte
+	for _, jobs := range []int{1, 2, 8} {
+		req := str
+		req.Jobs = jobs
+		out, err := Execute(context.Background(), cfg, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := out.Combined.MarshalCanonical()
+		if ref == nil {
+			ref = enc
+		} else if !bytes.Equal(ref, enc) {
+			t.Fatalf("-j%d result differs from -j1", jobs)
+		}
+	}
+}
+
+// TestCheckpointWarmAndCorruptDegrade drives the full persistence cycle:
+// cold run publishes plan+checkpoints, warm run restores them (skipping
+// the profiling pass), and corrupting every checkpoint degrades to
+// re-simulation with identical results.
+func TestCheckpointWarmAndCorruptDegrade(t *testing.T) {
+	dir := t.TempDir()
+	store, err := artifact.Open(dir, artifact.RW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default(config.DMDP)
+	spec := Spec{Auto: true, K: 3, Warmup: 200}
+	_, str := execRequest(t, "astar", 40_000)
+	str.Spec, str.Checkpoint, str.Store = spec, true, store
+
+	cold, err := Execute(context.Background(), cfg, str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PlanCached {
+		t.Fatal("cold run cannot hit the plan cache")
+	}
+	ref := cold.Combined.MarshalCanonical()
+
+	warm, err := Execute(context.Background(), cfg, str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.PlanCached {
+		t.Fatal("warm run should reuse the cached plan")
+	}
+	if !bytes.Equal(ref, warm.Combined.MarshalCanonical()) {
+		t.Fatal("warm (checkpoint-restored) result differs from cold")
+	}
+
+	// Corrupt every checkpoint: the plan still loads, every restore
+	// misses, and interval extraction degrades to re-emulation from the
+	// program start — slower, byte-identical.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, de := range ents {
+		if strings.HasSuffix(de.Name(), ".ckpt") {
+			path := filepath.Join(dir, de.Name())
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf[len(buf)/2] ^= 0xff
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no checkpoints were persisted")
+	}
+	degraded, err := Execute(context.Background(), cfg, str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, degraded.Combined.MarshalCanonical()) {
+		t.Fatal("degraded (corrupt-checkpoint) result differs from cold")
+	}
+}
+
+// TestTraceSourceCheckpointRestore: the materialized path's image
+// checkpoints round-trip through the store and reproduce exactly what
+// the rolling pass (and the legacy per-interval Slice) computes.
+func TestTraceSourceCheckpointRestore(t *testing.T) {
+	store, err := artifact.Open(t.TempDir(), artifact.RW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, _ := execRequest(t, "perl", 30_000)
+	plan, err := Uniform(len(mat.Trace.Entries), 2_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Warmup = 400
+
+	cold, err := NewTraceSource(mat.Trace, plan, store, mat.TraceKey, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewTraceSource(mat.Trace, plan, store, mat.TraceKey, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Counters().CheckpointHits != int64(len(plan.Intervals)) {
+		t.Fatalf("warm source should restore every interval: %+v", store.Counters())
+	}
+	for i := range plan.Intervals {
+		a, warmA, err := cold.IntervalTrace(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, warmB, err := warm.IntervalTrace(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		begin, wantWarm := beginOf(plan, i)
+		if warmA != wantWarm || warmB != wantWarm {
+			t.Fatalf("interval %d warm %d/%d, want %d", i, warmA, warmB, wantWarm)
+		}
+		ref, err := Slice(mat.Trace, Interval{Start: begin, End: plan.Intervals[i].End, Weight: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Entries) != len(ref.Entries) || len(b.Entries) != len(ref.Entries) {
+			t.Fatalf("interval %d length mismatch", i)
+		}
+		for j := range ref.Entries {
+			if a.Entries[j] != ref.Entries[j] || b.Entries[j] != ref.Entries[j] {
+				t.Fatalf("interval %d entry %d differs from Slice reference", i, j)
+			}
+		}
+	}
+}
+
+// Checkpoint spacing on the streamed path must be budget-derived, never
+// the spec's interval length: a `1x1000` spec at a 100M budget once
+// snapshotted a checkpoint every 1000 entries — 100k O(dirty pages)
+// deltas, quadratic work that looked like a hang — while a huge interval
+// length would have buffered the whole chunk in memory. The store must
+// hold ~budget/autoChunkLen checkpoints regardless of Spec.Len.
+func TestSystematicSpecChunkingIsBudgetDerived(t *testing.T) {
+	const budget = 100_000
+	dir := t.TempDir()
+	store, err := artifact.Open(dir, artifact.RW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, str := execRequest(t, "gcc", budget)
+	str.Spec = Spec{Count: 1, Len: 10}
+	str.Checkpoint, str.Store = true, store
+
+	if _, err := Execute(context.Background(), config.Default(config.DMDP), str); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpts := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			ckpts++
+		}
+	}
+	want := int(budget) / autoChunkLen(budget)
+	if ckpts < want/2 || ckpts > 2*want {
+		t.Fatalf("store holds %d checkpoints for a %d budget (chunking tied to Spec.Len=10?); want ~%d", ckpts, budget, want)
+	}
+}

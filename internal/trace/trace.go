@@ -10,8 +10,6 @@
 package trace
 
 import (
-	"fmt"
-
 	"dmdp/internal/isa"
 	"dmdp/internal/mem"
 )
@@ -155,22 +153,10 @@ type Stepper interface {
 
 // Collect runs s for at most max instructions (HALT stops earlier),
 // analyzes memory dependences and returns the trace. InitMem must be a
-// snapshot of memory before the first Step.
+// snapshot of memory before the first Step. Collect cannot be canceled;
+// use CollectCtx when a deadline may fire mid-build.
 func Collect(s Stepper, max int64, prog *isa.Program, initMem *mem.Image) (*Trace, error) {
-	t := &Trace{Prog: prog, InitMem: initMem}
-	if max > 0 {
-		t.Entries = make([]Entry, 0, max)
-	}
-	for int64(len(t.Entries)) < max && !s.Halted() {
-		e, err := s.Step()
-		if err != nil {
-			return nil, fmt.Errorf("trace: at entry %d: %w", len(t.Entries), err)
-		}
-		t.Entries = append(t.Entries, e)
-	}
-	t.HitHalt = s.Halted()
-	t.Analyze()
-	return t, nil
+	return CollectCtx(nil, s, max, prog, initMem)
 }
 
 // Analyze computes, for every load, the youngest store writing any of its

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"strings"
@@ -102,11 +103,19 @@ func (s *Spec) Program() (*isa.Program, error) {
 // BuildTrace assembles, emulates and analyzes the proxy for at most
 // maxInstr instructions.
 func (s *Spec) BuildTrace(maxInstr int64) (*trace.Trace, error) {
+	return s.BuildTraceCtx(nil, maxInstr)
+}
+
+// BuildTraceCtx is BuildTrace with cancellation: the emulation polls ctx
+// periodically and aborts with a *trace.BuildCanceled error (which
+// unwraps to the context error) when a deadline or cancel fires
+// mid-build. A nil ctx never cancels.
+func (s *Spec) BuildTraceCtx(ctx context.Context, maxInstr int64) (*trace.Trace, error) {
 	p, err := s.Program()
 	if err != nil {
 		return nil, err
 	}
-	tr, err := emu.Run(p, maxInstr)
+	tr, err := emu.RunCtx(ctx, p, maxInstr)
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
 	}

@@ -1,0 +1,73 @@
+package dmdp
+
+import (
+	"testing"
+
+	"dmdp/internal/artifact"
+	"dmdp/internal/sampling"
+	"dmdp/internal/workload"
+)
+
+// The checkpoint-vs-roll-forward pair below measures interval extraction
+// for a whole sampling plan on a materialized trace. Roll-forward pays
+// O(interval start) memory-image replay per interval; a warm checkpoint
+// store restores each begin image from its persisted dirty-page delta.
+// The gap is the reason checkpointed sampling scales to 100M+ budgets
+// (BENCH_0005.json records the baseline; DESIGN.md §12 has the scheme).
+
+const (
+	samplingBenchBudget = 2_000_000
+	samplingIntervalLen = 1_000
+	samplingCount       = 8
+	samplingWarmup      = 250
+)
+
+func samplingBenchSetup(b *testing.B) (*Trace, sampling.Plan, artifact.Key) {
+	b.Helper()
+	spec, ok := workload.Get("gcc")
+	if !ok {
+		b.Fatal("gcc proxy missing")
+	}
+	tr, err := spec.BuildTrace(samplingBenchBudget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sampling.Uniform(len(tr.Entries), samplingIntervalLen, samplingCount)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, plan.WithWarmup(samplingWarmup), artifact.TraceKey(spec.SourceHash(), samplingBenchBudget)
+}
+
+// BenchmarkRollForwardSlice: every interval begin is reached by replaying
+// the memory image from entry 0 — the legacy Slice path.
+func BenchmarkRollForwardSlice(b *testing.B) {
+	tr, plan, key := samplingBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.NewTraceSource(tr, plan, nil, key, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRestore: identical extraction against a warm
+// checkpoint store — each begin image restores from its dirty-page delta
+// instead of replaying the prefix.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	tr, plan, key := samplingBenchSetup(b)
+	store, err := artifact.Open(b.TempDir(), artifact.RW, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Cold pass publishes the checkpoints the timed passes restore.
+	if _, err := sampling.NewTraceSource(tr, plan, store, key, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.NewTraceSource(tr, plan, store, key, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
