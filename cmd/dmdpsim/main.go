@@ -47,6 +47,7 @@ func main() {
 		src       = flag.Bool("source", false, "print the benchmark's generated assembly and exit")
 		sample    = flag.String("sample", "", "interval sampling: auto | auto:K | COUNTxLEN, optionally +WARMUP (e.g. auto:8+2k, 10x1000+200)")
 		ckpt      = flag.Bool("checkpoint", false, "persist/restore sampling checkpoints and plans in the artifact cache (needs -cache rw or ro)")
+		warmF     = flag.Bool("warm", false, "functionally warm caches/TLB/predictors from the profiling pass before each sampled interval (needs -sample; forced off with -flip)")
 		jobs      = flag.Int("j", 1, "sampled-interval worker-pool width (results are byte-identical at any width)")
 		sampFull  = flag.String("samplefull", "auto", "also simulate the full trace and report sampled-vs-full IPC error: auto (only for budgets <= 5M) | on | off")
 		maxCycles = flag.Int64("maxcycles", 0, "abort with a diagnostic after N simulated cycles (0 = unlimited)")
@@ -188,7 +189,7 @@ func main() {
 	if *sample != "" {
 		runSampled(sampleRun{
 			cfg: cfg, model: model, budget: budget,
-			spec: *sample, full: *sampFull, jobs: *jobs, checkpoint: *ckpt,
+			spec: *sample, full: *sampFull, jobs: *jobs, checkpoint: *ckpt, warm: *warmF,
 			store: store, traceKey: traceKey,
 			loadTrace: loadTrace, loadProg: loadProg,
 		})
@@ -262,6 +263,7 @@ type sampleRun struct {
 	full       string // -samplefull: auto | on | off
 	jobs       int
 	checkpoint bool
+	warm       bool
 	store      *artifact.Store
 	traceKey   artifact.Key
 	loadTrace  func() *dmdp.Trace
@@ -290,6 +292,7 @@ func runSampled(r sampleRun) {
 	req := sampling.Request{
 		Spec: spec, Budget: r.budget, Jobs: r.jobs,
 		Checkpoint: r.checkpoint, Store: r.store, TraceKey: r.traceKey,
+		Warm: r.warm,
 	}
 	var fullTrace *dmdp.Trace
 	if compareFull || r.budget <= materializeLimit {
@@ -336,6 +339,17 @@ func runSampled(r sampleRun) {
 		fmt.Printf("full IPC           %.4f\n", fullIPC)
 		fmt.Printf("full MPKI          %.3f\n", full.MPKI())
 		fmt.Printf("IPC error          %+.2f%%\n", 100*(c.WeightedIPC-fullIPC)/fullIPC)
+	}
+	// Warming accounting goes to stderr with the timing: stdout must stay
+	// byte-identical across -j widths and cold/warm artifact caches.
+	if out.Warmed {
+		fmt.Fprintf(os.Stderr, "functional warming warmed %d of %d intervals (%d cold starts), %.1f KiB of snapshots installed\n",
+			out.WarmedIntervals, out.WarmedIntervals+out.ColdStartIntervals,
+			out.ColdStartIntervals, float64(out.WarmSnapshotBytes)/1024)
+		if out.WarmNanos > 0 {
+			fmt.Fprintf(os.Stderr, "warming throughput %.1f Mentries/s over the profiling pass (%d entries)\n",
+				float64(out.WarmEntries)*1e3/float64(out.WarmNanos), out.WarmEntries)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "sampled wall clock %.3fs (%d intervals, -j %d)\n",
 		sampledWall.Seconds(), len(out.Plan.Intervals), r.jobs)

@@ -37,6 +37,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the whole suite; on expiry in-flight runs cancel cleanly and partial results + the failure table still print (0 = none)")
 		sample   = flag.String("sample", "", "samp-err sampling spec: auto | auto:K | COUNTxLEN, optionally +WARMUP (default: budget-derived)")
 		ckpt     = flag.Bool("checkpoint", false, "persist/restore sampling checkpoints and plans in the artifact cache during samp-err")
+		warmF    = flag.Bool("warm", false, "add functionally-warmed rows to samp-err (caches/TLB/predictors warmed from the profiling pass)")
 		cache    = cliutil.RegisterCache(flag.CommandLine)
 	)
 	flag.Parse()
@@ -67,7 +68,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag, Cache: store, Context: ctx, SampleCheckpoint: *ckpt}
+	opt := experiments.Options{Budget: budget, Parallel: !*serial, Jobs: *jobsFlag, Cache: store, Context: ctx, SampleCheckpoint: *ckpt, SampleWarm: *warmF}
 	if *sample != "" {
 		opt.Sample, err = cliutil.ParseSampleSpec(*sample)
 		if err != nil {

@@ -132,7 +132,13 @@ type Counters struct {
 	// artifact lookups (both kinds share the pair: a plan hit without its
 	// checkpoints still re-streams, so they degrade together).
 	CheckpointHits, CheckpointMisses int64
-	Writes                           int64
+	// WarmHits/WarmMisses count functional-warm-state artifact lookups; a
+	// warm miss at a sampled interval degrades that interval to a cold
+	// start, not a failure. WarmBytes is the total decoded snapshot bytes
+	// served from warm hits.
+	WarmHits, WarmMisses int64
+	WarmBytes            int64
+	Writes               int64
 	BytesRead, BytesWritten   int64
 	Evictions, CorruptDropped int64
 	// Degraded reports a write-failure fallback to read-only (see
@@ -174,6 +180,8 @@ type Store struct {
 	traceHits, traceMisses   atomic.Int64
 	resultHits, resultMisses atomic.Int64
 	ckptHits, ckptMisses     atomic.Int64
+	warmHits, warmMisses     atomic.Int64
+	warmBytes                atomic.Int64
 	writes                   atomic.Int64
 	bytesRead, bytesWritten  atomic.Int64
 	evictions, corrupt       atomic.Int64
@@ -291,6 +299,9 @@ func (s *Store) Counters() Counters {
 		ResultMisses:     s.resultMisses.Load(),
 		CheckpointHits:   s.ckptHits.Load(),
 		CheckpointMisses: s.ckptMisses.Load(),
+		WarmHits:         s.warmHits.Load(),
+		WarmMisses:       s.warmMisses.Load(),
+		WarmBytes:        s.warmBytes.Load(),
 		Writes:           s.writes.Load(),
 		BytesRead:      s.bytesRead.Load(),
 		BytesWritten:   s.bytesWritten.Load(),
@@ -314,6 +325,10 @@ func (s *Store) Summary() string {
 		c.Writes, float64(c.BytesWritten)/(1<<20), float64(c.BytesRead)/(1<<20))
 	if c.CheckpointHits > 0 || c.CheckpointMisses > 0 {
 		line += fmt.Sprintf(", checkpoints %d hit / %d miss", c.CheckpointHits, c.CheckpointMisses)
+	}
+	if c.WarmHits > 0 || c.WarmMisses > 0 {
+		line += fmt.Sprintf(", warm state %d hit / %d miss (%.1f MiB)",
+			c.WarmHits, c.WarmMisses, float64(c.WarmBytes)/(1<<20))
 	}
 	if c.Evictions > 0 || c.CorruptDropped > 0 {
 		line += fmt.Sprintf(", %d evicted, %d corrupt dropped", c.Evictions, c.CorruptDropped)

@@ -1,0 +1,117 @@
+package bpred
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Functional-warming support. Unlike the LRU structures, the predictor's
+// state has no timestamps: counters, tables, history and the RAS are
+// serialized and restored exactly, so a round trip is the identity.
+
+// WarmStateLen returns the encoded warm-state size for this predictor.
+func (p *Predictor) WarmStateLen() int {
+	n := 4 + 8 + len(p.counters) + len(p.btb)*9 + 4*len(p.ras)
+	if p.cfg.Tournament {
+		n += len(p.bimodal) + len(p.chooser)
+	}
+	return n
+}
+
+// AppendWarmState appends the predictor's complete tag state: history,
+// rasTop, the gshare counters, the tournament tables when configured,
+// the BTB and the RAS.
+func (p *Predictor) AppendWarmState(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, p.history)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(p.rasTop)))
+	buf = append(buf, p.counters...)
+	if p.cfg.Tournament {
+		buf = append(buf, p.bimodal...)
+		buf = append(buf, p.chooser...)
+	}
+	for i := range p.btb {
+		b := &p.btb[i]
+		buf = binary.LittleEndian.AppendUint32(buf, b.tag)
+		buf = binary.LittleEndian.AppendUint32(buf, b.target)
+		v := byte(0)
+		if b.valid {
+			v = 1
+		}
+		buf = append(buf, v)
+	}
+	for _, r := range p.ras {
+		buf = binary.LittleEndian.AppendUint32(buf, r)
+	}
+	return buf
+}
+
+// LoadWarmState replaces the predictor's state with the encoded state
+// and returns the bytes consumed. The geometry (including the
+// tournament flag) must match the predictor the state was captured
+// from. Counters (Lookups/Mispredicts) are untouched.
+func (p *Predictor) LoadWarmState(buf []byte) (int, error) {
+	need := p.WarmStateLen()
+	if len(buf) < need {
+		return 0, fmt.Errorf("bpred: warm state truncated (%d of %d bytes)", len(buf), need)
+	}
+	p.history = binary.LittleEndian.Uint32(buf)
+	rasTop := int64(binary.LittleEndian.Uint64(buf[4:]))
+	if rasTop < 0 {
+		return 0, fmt.Errorf("bpred: warm state has negative RAS top")
+	}
+	p.rasTop = int(rasTop)
+	off := 12
+	// Out-of-range values are rejected rather than normalized so that
+	// every accepted encoding is canonical (load-then-serialize is the
+	// identity) and a re-signed hostile payload cannot park a 2-bit
+	// counter outside its saturating range.
+	load2bit := func(dst []byte) error {
+		for i := range dst {
+			if buf[off+i] > 3 {
+				return fmt.Errorf("bpred: warm state has counter value %d", buf[off+i])
+			}
+			dst[i] = buf[off+i]
+		}
+		off += len(dst)
+		return nil
+	}
+	if err := load2bit(p.counters); err != nil {
+		return 0, err
+	}
+	if p.cfg.Tournament {
+		if err := load2bit(p.bimodal); err != nil {
+			return 0, err
+		}
+		if err := load2bit(p.chooser); err != nil {
+			return 0, err
+		}
+	}
+	for i := range p.btb {
+		if v := buf[off+8]; v > 1 {
+			return 0, fmt.Errorf("bpred: warm state has BTB valid byte %d", v)
+		}
+		p.btb[i] = btbEntry{
+			tag:    binary.LittleEndian.Uint32(buf[off:]),
+			target: binary.LittleEndian.Uint32(buf[off+4:]),
+			valid:  buf[off+8] == 1,
+		}
+		off += 9
+	}
+	for i := range p.ras {
+		p.ras[i] = binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+	}
+	return off, nil
+}
+
+// CopyWarmFrom transplants src's state into p (same geometry assumed).
+// Counters are untouched.
+func (p *Predictor) CopyWarmFrom(src *Predictor) {
+	p.history = src.history
+	p.rasTop = src.rasTop
+	copy(p.counters, src.counters)
+	copy(p.bimodal, src.bimodal)
+	copy(p.chooser, src.chooser)
+	copy(p.btb, src.btb)
+	copy(p.ras, src.ras)
+}

@@ -69,6 +69,10 @@ type jobRequest struct {
 	// Checkpoint persists/restores sampling checkpoints and plans in
 	// the daemon's artifact cache (sampled jobs only).
 	Checkpoint bool `json:"checkpoint,omitempty"`
+	// Warm functionally warms caches/TLB/predictors from the sampled
+	// job's profiling pass before each interval (sampled jobs only;
+	// forced off under fault injection).
+	Warm bool `json:"warm,omitempty"`
 }
 
 // statsSummary is the subset of simulation statistics the response
@@ -114,6 +118,7 @@ type jobPlan struct {
 	sampled    bool
 	sample     sampling.Spec
 	checkpoint bool
+	warm       bool
 }
 
 // parseJob validates a request into a plan.
@@ -193,9 +198,11 @@ func (s *Server) parseJob(req *jobRequest) (*jobPlan, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sample: %w", err)
 		}
-		p.sampled, p.sample, p.checkpoint = true, spec, req.Checkpoint
+		p.sampled, p.sample, p.checkpoint, p.warm = true, spec, req.Checkpoint, req.Warm
 	} else if req.Checkpoint {
 		return nil, fmt.Errorf("checkpoint requires sample")
+	} else if req.Warm {
+		return nil, fmt.Errorf("warm requires sample")
 	}
 
 	// The dedup key is the run's identity: two jobs with equal keys
@@ -212,7 +219,9 @@ func (s *Server) parseJob(req *jobRequest) (*jobPlan, error) {
 		// A sampled run computes different bits from a full run of the
 		// same machine (and from a differently-specified sampled run),
 		// so the spec and checkpoint mode join the identity.
-		p.key += fmt.Sprintf("/sample:%s/ckpt:%t", p.sample.String(), p.checkpoint)
+		// Warming changes the computed bits (intervals start with
+		// installed tag state), so it joins the identity too.
+		p.key += fmt.Sprintf("/sample:%s/ckpt:%t/warm:%t", p.sample.String(), p.checkpoint, p.warm)
 	}
 	if p.chaos {
 		p.key = "" // never dedup an injected panic
@@ -284,7 +293,7 @@ func (s *Server) runSampled(ctx context.Context, p *jobPlan) (*sampling.Combined
 		Spec: p.sample, Budget: p.budget, Jobs: 1,
 		Checkpoint: p.checkpoint, Store: s.cfg.Cache,
 		TraceKey: artifact.TraceKey(srcHash, p.budget),
-		Prog:     prog,
+		Prog:     prog, Warm: p.warm,
 	})
 	if err != nil {
 		return nil, err

@@ -63,10 +63,54 @@ func TestSampledJobValidation(t *testing.T) {
 		{"bench": "gcc", "sample": "nonsense"},
 		{"bench": "gcc", "sample": "0x100"},
 		{"bench": "gcc", "checkpoint": true},
+		{"bench": "gcc", "warm": true},
 	} {
 		if code, out := postJob(t, ts.URL, body); code != http.StatusBadRequest {
 			t.Fatalf("body %v: status %d (%v), want 400", body, code, out)
 		}
+	}
+}
+
+// TestSampledWarmJob: a warmed sampled job computes the same bits as a
+// direct warmed Execute, and is keyed apart from the unwarmed job.
+func TestSampledWarmJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, out := postJob(t, ts.URL, map[string]any{
+		"bench": "gcc", "model": "dmdp", "sample": "4x2k+500", "warm": true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+
+	spec, _ := workload.Get("gcc")
+	prog, err := spec.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sampling.Execute(context.Background(), config.Default(config.DMDP), sampling.Request{
+		Spec:   sampling.Spec{Count: 4, Len: 2000, Warmup: 500},
+		Budget: testBudget, Jobs: 1, Warm: true,
+		TraceKey: artifact.TraceKey(spec.SourceHash(), testBudget),
+		Prog:     prog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := statsSHA(direct.Combined.MarshalCanonical()); out["stats_sha256"] != want {
+		t.Fatalf("daemon warmed sha %v, direct %v — results diverge", out["stats_sha256"], want)
+	}
+
+	// The unwarmed job must not be served from the warmed job's dedup
+	// slot (warming changes the computed bits).
+	code2, out2 := postJob(t, ts.URL, map[string]any{
+		"bench": "gcc", "model": "dmdp", "sample": "4x2k+500",
+	})
+	if code2 != http.StatusOK {
+		t.Fatalf("status %d: %v", code2, out2)
+	}
+	if out2["stats_sha256"] == out["stats_sha256"] {
+		t.Fatal("warmed and unwarmed sampled jobs returned identical bits")
 	}
 }
 

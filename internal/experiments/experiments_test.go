@@ -39,6 +39,31 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 	}
 }
 
+// TestSampErrWarmRows: with SampleWarm the samp-err table carries a
+// "+warm" row per benchmark, a separate warmed mean-|error| footer, and
+// no cold-start daggers (the materialized path always reconstructs warm
+// state).
+func TestSampErrWarmRows(t *testing.T) {
+	r := NewRunner(Options{
+		Budget:     20_000,
+		Benchmarks: []string{"gcc", "mcf"},
+		Parallel:   false,
+		SampleWarm: true,
+	})
+	out, err := SampErr(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gcc+warm", "mcf+warm", "mean |error| (warmed):", "mean |error|:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("samp-err output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "†") {
+		t.Fatalf("materialized samp-err rows claim cold starts:\n%s", out)
+	}
+}
+
 func TestRunnerCachesResults(t *testing.T) {
 	r := smallRunner()
 	a, err := r.RunModel("perl", config.DMDP)

@@ -63,6 +63,11 @@ type Options struct {
 	// SampleCheckpoint persists/restores sampling checkpoints and plans
 	// in Cache during sampled runs.
 	SampleCheckpoint bool
+	// SampleWarm adds functionally-warmed rows to the samp-err
+	// experiment: each benchmark is sampled twice, cold-start (the
+	// paper's checkpoint semantics) and with cache/TLB/predictor tag
+	// state installed from the profiling pass.
+	SampleWarm bool
 }
 
 // DefaultRetry preserves the historical retry-once behavior with the

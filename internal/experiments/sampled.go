@@ -70,52 +70,90 @@ func SampErr(r *Runner) (string, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("Sampled-vs-full IPC error, spec %s, budget %d", spec.String(), r.opt.Budget),
 		"bench", "baseline", "nosq", "dmdp", "perfect", "fnf")
-	perModel := make([][]float64, len(sampErrModels))
+	// With Options.SampleWarm each benchmark gets a second, functionally
+	// warmed row (suffix "+warm"): same intervals, but cache/TLB/predictor
+	// tag state installed from the profiling pass before detailed
+	// simulation. Rows where any interval fell back to a cold start
+	// (missing/corrupt warm state) are marked with a trailing dagger: the
+	// estimate is still correct, just less representative.
+	warmModes := []bool{false}
+	if r.opt.SampleWarm {
+		warmModes = append(warmModes, true)
+	}
+	perModel := make([][][]float64, len(warmModes))
+	for mi := range warmModes {
+		perModel[mi] = make([][]float64, len(sampErrModels))
+	}
 	var share []float64
+	daggered := false
 	for _, b := range r.Benchmarks() {
 		tr, err := r.Trace(b)
 		if err != nil {
 			continue // failure recorded; row omitted
 		}
 		key, _ := r.traceKey(b)
-		cells := []string{b}
-		errs := make([]float64, 0, len(sampErrModels))
-		for _, m := range sampErrModels {
-			full, err := r.RunModel(b, m)
-			if err != nil || full.IPC() == 0 {
-				cells = nil
-				break
+		for mi, warmed := range warmModes {
+			label := b
+			if warmed {
+				label += "+warm"
 			}
-			out, err := sampling.Execute(r.ctx(), config.Default(m), sampling.Request{
-				Spec: spec, Budget: r.opt.Budget, Jobs: r.jobs(),
-				Checkpoint: r.opt.SampleCheckpoint, Store: r.opt.Cache,
-				TraceKey: key, Trace: tr,
-			})
-			if err != nil {
-				cells = nil
-				break
+			cells := []string{label}
+			errs := make([]float64, 0, len(sampErrModels))
+			coldStarts := false
+			for _, m := range sampErrModels {
+				full, err := r.RunModel(b, m)
+				if err != nil || full.IPC() == 0 {
+					cells = nil
+					break
+				}
+				out, err := sampling.Execute(r.ctx(), config.Default(m), sampling.Request{
+					Spec: spec, Budget: r.opt.Budget, Jobs: r.jobs(),
+					Checkpoint: r.opt.SampleCheckpoint, Store: r.opt.Cache,
+					TraceKey: key, Trace: tr, Warm: warmed,
+				})
+				if err != nil {
+					cells = nil
+					break
+				}
+				if out.ColdStartIntervals > 0 {
+					coldStarts = true
+				}
+				e := 100 * (out.Combined.WeightedIPC - full.IPC()) / full.IPC()
+				errs = append(errs, e)
+				cells = append(cells, fmt.Sprintf("%+.2f%%", e))
+				if m == config.DMDP && !warmed {
+					share = append(share,
+						100*float64(out.Combined.TotalInstructions)/float64(len(tr.Entries)))
+				}
 			}
-			e := 100 * (out.Combined.WeightedIPC - full.IPC()) / full.IPC()
-			errs = append(errs, e)
-			cells = append(cells, fmt.Sprintf("%+.2f%%", e))
-			if m == config.DMDP {
-				share = append(share,
-					100*float64(out.Combined.TotalInstructions)/float64(len(tr.Entries)))
+			if cells == nil {
+				continue // failure recorded; row omitted
 			}
+			if coldStarts {
+				cells[0] += " †"
+				daggered = true
+			}
+			for i, e := range errs {
+				perModel[mi][i] = append(perModel[mi][i], math.Abs(e))
+			}
+			t.Add(cells...)
 		}
-		if cells == nil {
-			continue // failure recorded; row omitted
-		}
-		for i, e := range errs {
-			perModel[i] = append(perModel[i], math.Abs(e))
-		}
-		t.Add(cells...)
 	}
 	out := t.String()
-	out += "mean |error|:"
-	for i, m := range sampErrModels {
-		out += fmt.Sprintf(" %s %.2f%%", m, stats.Mean(perModel[i]))
+	for mi, warmed := range warmModes {
+		if warmed {
+			out += "mean |error| (warmed):"
+		} else {
+			out += "mean |error|:"
+		}
+		for i, m := range sampErrModels {
+			out += fmt.Sprintf(" %s %.2f%%", m, stats.Mean(perModel[mi][i]))
+		}
+		out += "\n"
 	}
-	out += fmt.Sprintf("\nsampled share: %.1f%% of the full trace (dmdp runs)\n", stats.Mean(share))
+	out += fmt.Sprintf("sampled share: %.1f%% of the full trace (dmdp runs)\n", stats.Mean(share))
+	if daggered {
+		out += "† at least one interval cold-started (warm state missing or corrupt)\n"
+	}
 	return out, nil
 }

@@ -61,10 +61,10 @@ func TestCheckpointRestoreBitIdenticalAllProxies(t *testing.T) {
 		key := artifact.TraceKey(s.SourceHash(), budget)
 
 		// Cold source publishes checkpoints; warm source restores them.
-		if _, err := NewTraceSource(tr, plan, store, key, true); err != nil {
+		if _, err := NewTraceSource(tr, plan, store, key, true, nil); err != nil {
 			t.Fatalf("%s cold source: %v", name, err)
 		}
-		warm, err := NewTraceSource(tr, plan, store, key, true)
+		warm, err := NewTraceSource(tr, plan, store, key, true, nil)
 		if err != nil {
 			t.Fatalf("%s warm source: %v", name, err)
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"os"
 
 	"dmdp/internal/config"
 	"dmdp/internal/core"
@@ -45,6 +46,20 @@ func RunPlan(ctx context.Context, cfg config.Config, plan Plan, src Source, jobs
 		if err != nil {
 			slots[i].err = err
 			return
+		}
+		// Functional warming: install the pre-interval tag state before
+		// the first cycle. A rejected snapshot leaves the core cold (the
+		// install is transactional) and degrades this interval to a cold
+		// start — never a failure, never divergent state.
+		if wp, ok := src.(warmProvider); ok {
+			if snap := wp.IntervalWarm(i); snap != nil {
+				if ierr := c.InstallWarmState(snap); ierr != nil {
+					fmt.Fprintf(os.Stderr,
+						"sampling: warning: interval [%d,%d): %v; cold-starting (event=warm_install_rejected)\n",
+						iv.Start, iv.End, ierr)
+					wp.WarmInstallFailed(i)
+				}
+			}
 		}
 		st, err := c.RunContext(ctx)
 		if err != nil {

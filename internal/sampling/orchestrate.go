@@ -8,6 +8,7 @@ import (
 	"dmdp/internal/config"
 	"dmdp/internal/isa"
 	"dmdp/internal/trace"
+	"dmdp/internal/warm"
 )
 
 // Request describes one sampled simulation for Execute. Exactly one of
@@ -24,6 +25,12 @@ type Request struct {
 	Checkpoint bool
 	Store      *artifact.Store
 	TraceKey   artifact.Key
+	// Warm enables functional warming: cache/TLB/predictor tag state is
+	// modelled during the profiling pass and installed before each
+	// interval's detailed simulation. Ignored (forced off) under fault
+	// injection, like fast-forward: a corrupted run must execute every
+	// instruction of every model the same way.
+	Warm bool
 
 	Trace *trace.Trace
 	Prog  *isa.Program
@@ -40,6 +47,23 @@ type Outcome struct {
 	// PlanCached reports that the plan (and stream geometry) came from
 	// the artifact cache, skipping the profiling pass entirely.
 	PlanCached bool
+
+	// Warmed reports that functional warming was active for this run
+	// (requested and not disabled by fault injection).
+	Warmed bool
+	// WarmedIntervals/ColdStartIntervals count intervals that installed
+	// warm state vs. those that fell back to a cold start (missing or
+	// corrupt warm artifacts). Cold starts are correct but less
+	// representative; samp-err labels them.
+	WarmedIntervals    int64
+	ColdStartIntervals int64
+	// WarmSnapshotBytes totals the warm snapshot bytes installed.
+	WarmSnapshotBytes int64
+	// WarmEntries/WarmNanos account the profiling-pass warming work
+	// (throughput = WarmEntries / WarmNanos; zero when the plan cache
+	// skipped the profiling pass).
+	WarmEntries int64
+	WarmNanos   int64
 }
 
 // autoChunkLen picks the BBV chunk length (= checkpoint spacing and
@@ -86,6 +110,26 @@ func Execute(ctx context.Context, cfg config.Config, req Request) (*Outcome, err
 	return executeStreamed(ctx, cfg, req)
 }
 
+// warmConfig resolves the functional-warming configuration for a
+// request: nil when warming is off or fault injection forces it off.
+func warmConfig(cfg config.Config, req Request) *warm.Config {
+	if !req.Warm || cfg.Faults.Enabled() {
+		return nil
+	}
+	wc := warm.ConfigFrom(cfg)
+	return &wc
+}
+
+// fillWarmOutcome copies a source's warming accounting into the outcome.
+func fillWarmOutcome(out *Outcome, src Source) {
+	ws, ok := src.(warmStatsSource)
+	if !ok {
+		return
+	}
+	out.Warmed = true
+	out.WarmedIntervals, out.ColdStartIntervals, out.WarmSnapshotBytes = ws.warmStats()
+}
+
 func executeMaterialized(ctx context.Context, cfg config.Config, req Request) (*Outcome, error) {
 	tr := req.Trace
 	total := len(tr.Entries)
@@ -101,7 +145,8 @@ func executeMaterialized(ctx context.Context, cfg config.Config, req Request) (*
 		return nil, err
 	}
 	plan.Warmup = req.Spec.Warmup
-	src, err := NewTraceSource(tr, plan, req.Store, req.TraceKey, req.Checkpoint)
+	wcfg := warmConfig(cfg, req)
+	src, err := NewTraceSource(tr, plan, req.Store, req.TraceKey, req.Checkpoint, wcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +154,11 @@ func executeMaterialized(ctx context.Context, cfg config.Config, req Request) (*
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Combined: comb, Plan: plan, Total: int64(total)}, nil
+	out := &Outcome{Combined: comb, Plan: plan, Total: int64(total)}
+	if wcfg != nil {
+		fillWarmOutcome(out, src)
+	}
+	return out, nil
 }
 
 func executeStreamed(ctx context.Context, cfg config.Config, req Request) (*Outcome, error) {
@@ -122,22 +171,30 @@ func executeStreamed(ctx context.Context, cfg config.Config, req Request) (*Outc
 	// prefix, so 1% of budget (clamped to [1k, 1M]) serves every spec.
 	chunkLen := autoChunkLen(req.Budget)
 	out := &Outcome{Streamed: true}
+	wcfg := warmConfig(cfg, req)
 	var plan Plan
 
 	// A cached plan (only trusted when checkpoints were persisted with
 	// it) skips the profiling pass: the stream is reopened with just the
 	// recorded geometry and intervals restore from stored checkpoints.
+	// With warming requested, the cached plan is only honored when warm
+	// state is actually reconstructible for it — otherwise a cold earlier
+	// run would pin every warm re-run to cold starts forever; one fresh
+	// profiling pass recaptures (and persists) the warm state instead.
 	planKey := artifact.PlanKey(req.TraceKey, req.Spec.String(), PlannerVersion)
 	var stream *Stream
 	if req.Checkpoint && req.Store != nil {
 		if rec, ok := req.Store.LoadPlan(planKey); ok && rec.ChunkLen == int64(chunkLen) && planRecordValid(rec) {
-			plan = planFromRecord(rec)
-			stream = OpenStream(req.Prog, chunkLen, rec.Total, rec.HitHalt, req.Store, req.TraceKey)
-			out.Total, out.PlanCached = rec.Total, true
+			s := OpenStream(req.Prog, chunkLen, rec.Total, rec.HitHalt, req.Store, req.TraceKey, wcfg)
+			p := planFromRecord(rec)
+			if wcfg == nil || s.warmPlanUsable(p) {
+				plan, stream = p, s
+				out.Total, out.PlanCached = rec.Total, true
+			}
 		}
 	}
 	if stream == nil {
-		s, err := BuildStream(ctx, req.Prog, req.Budget, chunkLen, req.Store, req.TraceKey, req.Checkpoint)
+		s, err := BuildStream(ctx, req.Prog, req.Budget, chunkLen, req.Store, req.TraceKey, req.Checkpoint, wcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -154,13 +211,18 @@ func executeStreamed(ctx context.Context, cfg config.Config, req Request) (*Outc
 			req.Store.StorePlan(planKey, planToRecord(plan, s))
 		}
 		stream, out.Total = s, s.Total
+		out.WarmEntries, out.WarmNanos = s.WarmEntries, s.WarmNanos
 	}
 	plan.Warmup = req.Spec.Warmup
-	comb, err := RunPlan(ctx, cfg, plan, stream.Source(plan), req.Jobs)
+	src := stream.Source(plan)
+	comb, err := RunPlan(ctx, cfg, plan, src, req.Jobs)
 	if err != nil {
 		return nil, err
 	}
 	out.Combined, out.Plan = comb, plan
+	if wcfg != nil {
+		fillWarmOutcome(out, src)
+	}
 	return out, nil
 }
 

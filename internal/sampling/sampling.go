@@ -135,7 +135,7 @@ type Combined struct {
 // use RunPlan directly for parallel execution, checkpoint-backed interval
 // extraction or cancellation.
 func Run(tr *trace.Trace, cfg config.Config, plan Plan) (*Combined, error) {
-	src, err := NewTraceSource(tr, plan, nil, artifact.Key{}, false)
+	src, err := NewTraceSource(tr, plan, nil, artifact.Key{}, false, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -2,12 +2,16 @@ package sampling
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dmdp/internal/artifact"
 	"dmdp/internal/emu"
 	"dmdp/internal/mem"
 	"dmdp/internal/trace"
+	"dmdp/internal/warm"
 )
 
 // Source supplies the standalone sub-trace for each interval of a plan.
@@ -20,6 +24,80 @@ type Source interface {
 	IntervalTrace(i int) (*trace.Trace, int, error)
 }
 
+// warmProvider is the optional Source extension for functional warming.
+// RunPlan type-asserts for it after IntervalTrace succeeds.
+type warmProvider interface {
+	// IntervalWarm returns the warm snapshot to install before running
+	// interval i, or nil for a cold start. Only valid after
+	// IntervalTrace(i) returned, from the same worker.
+	IntervalWarm(i int) []byte
+	// WarmInstallFailed records that interval i's snapshot was rejected
+	// at install time and the interval ran cold.
+	WarmInstallFailed(i int)
+}
+
+// warmCollector accumulates per-interval warm snapshots and the
+// warmed/cold accounting shared by both sources. A nil snapshot is a
+// cold start; the first one emits a structured warning (subsequent ones
+// only count, to keep a badly degraded cache from flooding stderr).
+type warmCollector struct {
+	snaps     [][]byte
+	warmed    atomic.Int64
+	cold      atomic.Int64
+	snapBytes atomic.Int64
+	warnOnce  sync.Once
+}
+
+func newWarmCollector(n int) *warmCollector {
+	return &warmCollector{snaps: make([][]byte, n)}
+}
+
+func (wc *warmCollector) set(i int, snap []byte, start, end int) {
+	wc.snaps[i] = snap
+	if snap != nil {
+		wc.warmed.Add(1)
+		wc.snapBytes.Add(int64(len(snap)))
+		return
+	}
+	wc.cold.Add(1)
+	wc.warnOnce.Do(func() {
+		fmt.Fprintf(os.Stderr,
+			"sampling: warning: warm state unavailable for interval [%d,%d); cold-starting (event=warm_cold_start)\n",
+			start, end)
+	})
+}
+
+// get, installFailed and stats tolerate a nil collector (warming off):
+// the sources satisfy the warm interfaces unconditionally.
+func (wc *warmCollector) get(i int) []byte {
+	if wc == nil {
+		return nil
+	}
+	return wc.snaps[i]
+}
+
+func (wc *warmCollector) installFailed(i int) {
+	if wc == nil {
+		return
+	}
+	wc.warmed.Add(-1)
+	wc.cold.Add(1)
+	wc.snapBytes.Add(-int64(len(wc.snaps[i])))
+}
+
+func (wc *warmCollector) stats() (warmed, cold, snapBytes int64) {
+	if wc == nil {
+		return 0, 0, 0
+	}
+	return wc.warmed.Load(), wc.cold.Load(), wc.snapBytes.Load()
+}
+
+// warmStatsSource lets Execute read the accounting back out of a source
+// after RunPlan finishes.
+type warmStatsSource interface {
+	warmStats() (warmed, cold, snapBytes int64)
+}
+
 // traceSource extracts intervals from a fully materialized trace. The
 // sub-traces are built eagerly in a single forward pass over the parent
 // trace (one rolling memory image, cloned at each interval begin), so a
@@ -28,10 +106,17 @@ type Source interface {
 type traceSource struct {
 	subs  []*trace.Trace
 	warms []int
+	wc    *warmCollector // nil = warming off
 }
 
 func (s *traceSource) IntervalTrace(i int) (*trace.Trace, int, error) {
 	return s.subs[i], s.warms[i], nil
+}
+
+func (s *traceSource) IntervalWarm(i int) []byte { return s.wc.get(i) }
+func (s *traceSource) WarmInstallFailed(i int)   { s.wc.installFailed(i) }
+func (s *traceSource) warmStats() (int64, int64, int64) {
+	return s.wc.stats()
 }
 
 // beginOf returns the warmup-extended begin of interval i under the plan.
@@ -52,7 +137,14 @@ func beginOf(plan Plan, i int) (begin, warm int) {
 // to the rolling forward pass and publish an image checkpoint for next
 // time. Corrupt checkpoints decode as misses, so a damaged cache degrades
 // to re-extraction, never to wrong results.
-func NewTraceSource(tr *trace.Trace, plan Plan, store *artifact.Store, traceKey artifact.Key, useCkpt bool) (Source, error) {
+//
+// With wcfg set, one additional rolling pass drives the functional warm
+// models over the entries preceding each interval begin and captures a
+// snapshot per interval. The trace is fully present, so the materialized
+// path never cold-starts — and because the streamed path's snapshots are
+// restore-continue equivalent to this continuous pass, the two paths
+// install byte-identical warm state for identical plans.
+func NewTraceSource(tr *trace.Trace, plan Plan, store *artifact.Store, traceKey artifact.Key, useCkpt bool, wcfg *warm.Config) (Source, error) {
 	if len(plan.Intervals) == 0 {
 		return nil, fmt.Errorf("sampling: empty plan")
 	}
@@ -66,6 +158,23 @@ func NewTraceSource(tr *trace.Trace, plan Plan, store *artifact.Store, traceKey 
 				iv.Start, iv.End, len(tr.Entries))
 		}
 		begins[i], src.warms[i] = beginOf(plan, i)
+	}
+	if wcfg != nil {
+		src.wc = newWarmCollector(n)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return begins[order[a]] < begins[order[b]] })
+		ws := warm.New(*wcfg)
+		cursor := 0
+		for _, i := range order {
+			for ; cursor < begins[i]; cursor++ {
+				ws.Update(&tr.Entries[cursor])
+			}
+			iv := plan.Intervals[i]
+			src.wc.set(i, ws.Snapshot(), iv.Start, iv.End)
+		}
 	}
 
 	// Restore what we can from the checkpoint store.

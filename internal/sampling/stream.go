@@ -3,12 +3,15 @@ package sampling
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"dmdp/internal/artifact"
 	"dmdp/internal/emu"
 	"dmdp/internal/isa"
 	"dmdp/internal/mem"
 	"dmdp/internal/trace"
+	"dmdp/internal/warm"
 )
 
 // Stream is the checkpointed, chunked view of one program's execution:
@@ -38,6 +41,18 @@ type Stream struct {
 	// writable store persists checkpoints, only checkpoint 0 is kept here
 	// (the store serves the rest); otherwise all boundaries are kept.
 	cks map[int64]*emu.Checkpoint
+
+	// Functional warming (nil warmCfg = off): warms caches full warm
+	// snapshots per boundary — captured live by BuildStream, or
+	// reconstructed on demand from persisted DMDPCKP2 delta records.
+	warmCfg    *warm.Config
+	warmParams [32]byte
+	warmMu     sync.Mutex
+	warms      map[int64][]byte
+	// WarmEntries/WarmNanos account the profiling-pass warming work for
+	// the throughput counter (zero for reopened streams).
+	WarmEntries int64
+	WarmNanos   int64
 }
 
 // BuildStream executes prog for at most budget instructions in chunks of
@@ -45,7 +60,14 @@ type Stream struct {
 // chunk boundary. With persist set and a writable store, checkpoints are
 // published under (traceKey, boundary index) and dropped from memory.
 // Cancellation surfaces as *trace.BuildCanceled.
-func BuildStream(ctx context.Context, prog *isa.Program, budget int64, chunkLen int, store *artifact.Store, traceKey artifact.Key, persist bool) (*Stream, error) {
+//
+// With wcfg set, the same single pass also drives the functional warm
+// models (internal/warm) over every executed entry and snapshots the
+// warm state at each checkpointed boundary; with persist set, snapshots
+// are additionally published as DMDPCKP2 records, delta-compressed
+// against the previous boundary with a keyframe every warmKeyEvery
+// boundaries.
+func BuildStream(ctx context.Context, prog *isa.Program, budget int64, chunkLen int, store *artifact.Store, traceKey artifact.Key, persist bool, wcfg *warm.Config) (*Stream, error) {
 	if chunkLen <= 0 {
 		return nil, fmt.Errorf("sampling: chunk length %d must be positive", chunkLen)
 	}
@@ -58,14 +80,30 @@ func BuildStream(ctx context.Context, prog *isa.Program, budget int64, chunkLen 
 		traceKey: traceKey,
 		cks:      map[int64]*emu.Checkpoint{},
 	}
+	s.setWarmCfg(wcfg)
 	offload := persist && store != nil && store.Mode() != artifact.RO
 	dirty := map[uint32]bool{}
 	var bases []uint32 // reused dirty-base scratch
 	var acc BBVAccum
 
+	var ws *warm.State
+	var prevSnap []byte // previous boundary snapshot (delta base)
+	var prevAt int64
+	sinceKey := 0
+	if wcfg != nil {
+		ws = warm.New(*wcfg)
+		prevSnap, prevAt = s.captureWarm(ws, 0, nil, -1, offload)
+	}
+
 	s.addCheckpoint(e.Snapshot(nil), offload) // boundary 0: no dirty pages yet
 	total, hitHalt, err := trace.ForEachChunk(ctx, e, budget, chunkLen,
 		func(start int64, chunk []trace.Entry) error {
+			if ws != nil {
+				t0 := time.Now()
+				ws.UpdateChunk(chunk)
+				s.WarmNanos += time.Since(t0).Nanoseconds()
+				s.WarmEntries += int64(len(chunk))
+			}
 			for i := range chunk {
 				ent := &chunk[i]
 				if ent.IsStore() {
@@ -87,6 +125,18 @@ func BuildStream(ctx context.Context, prog *isa.Program, budget int64, chunkLen 
 					bases = append(bases, base)
 				}
 				s.addCheckpoint(e.Snapshot(bases), offload)
+				if ws != nil {
+					sinceKey++
+					if sinceKey >= warmKeyEvery {
+						sinceKey = 0
+					}
+					base := prevSnap
+					baseAt := prevAt
+					if sinceKey == 0 {
+						base, baseAt = nil, -1 // keyframe
+					}
+					prevSnap, prevAt = s.captureWarm(ws, end, base, baseAt, offload)
+				}
 			}
 			return nil
 		})
@@ -95,6 +145,40 @@ func BuildStream(ctx context.Context, prog *isa.Program, budget int64, chunkLen 
 	}
 	s.Total, s.HitHalt = total, hitHalt
 	return s, nil
+}
+
+// warmKeyEvery is the keyframe cadence for persisted warm-state deltas:
+// a corrupt or evicted record costs at most this many chain links, and
+// reconstruction depth stays bounded.
+const warmKeyEvery = 16
+
+func (s *Stream) setWarmCfg(wcfg *warm.Config) {
+	s.warmCfg = wcfg
+	if wcfg != nil {
+		s.warmParams = wcfg.ParamsHash()
+		s.warms = map[int64][]byte{}
+	}
+}
+
+// captureWarm snapshots ws at boundary at, caches the snapshot in
+// memory, and (when offloading) publishes it as a DMDPCKP2 record —
+// delta-compressed against base/baseAt, or a self-contained keyframe
+// when baseAt is -1. Returns the snapshot for use as the next delta
+// base.
+func (s *Stream) captureWarm(ws *warm.State, at int64, base []byte, baseAt int64, offload bool) ([]byte, int64) {
+	snap := ws.Snapshot()
+	s.warmMu.Lock()
+	s.warms[at] = snap
+	s.warmMu.Unlock()
+	if offload {
+		payload := snap
+		if baseAt >= 0 {
+			payload = warm.EncodeDelta(base, snap)
+		}
+		s.store.StoreWarm(artifact.WarmKey(s.traceKey, at, s.warmParams),
+			&artifact.WarmRecord{At: at, BaseAt: baseAt, Payload: payload})
+	}
+	return snap, at
 }
 
 func (s *Stream) addCheckpoint(ck *emu.Checkpoint, offload bool) {
@@ -111,9 +195,12 @@ func (s *Stream) addCheckpoint(ck *emu.Checkpoint, offload bool) {
 // and totals) was loaded from the plan cache, without re-executing the
 // program. Interval extraction restores persisted checkpoints; any miss
 // degrades to re-emulation from an earlier boundary or from the start.
-func OpenStream(prog *isa.Program, chunkLen int, total int64, hitHalt bool, store *artifact.Store, traceKey artifact.Key) *Stream {
+// With wcfg set, warm snapshots reconstruct from persisted DMDPCKP2
+// records; a missing or corrupt record cold-starts the affected
+// intervals.
+func OpenStream(prog *isa.Program, chunkLen int, total int64, hitHalt bool, store *artifact.Store, traceKey artifact.Key, wcfg *warm.Config) *Stream {
 	e := emu.New(prog)
-	return &Stream{
+	s := &Stream{
 		Prog:     prog,
 		Init:     e.Mem.Clone(),
 		ChunkLen: chunkLen,
@@ -123,6 +210,8 @@ func OpenStream(prog *isa.Program, chunkLen int, total int64, hitHalt bool, stor
 		traceKey: traceKey,
 		cks:      map[int64]*emu.Checkpoint{},
 	}
+	s.setWarmCfg(wcfg)
+	return s
 }
 
 // AutoPlan clusters the stream's BBVs into at most k phases.
@@ -170,16 +259,155 @@ func (s *Stream) resumeAt(begin int64) (*emu.Emulator, error) {
 	return e, nil
 }
 
+// warmAt returns the full warm snapshot at boundary at, consulting the
+// in-memory cache first and then reconstructing from persisted DMDPCKP2
+// records (walking delta chains back to a keyframe). Nil when the state
+// is unavailable or corrupt — the caller degrades to a cold start.
+func (s *Stream) warmAt(at int64) []byte {
+	return s.warmAtDepth(at, 4*warmKeyEvery)
+}
+
+func (s *Stream) warmAtDepth(at int64, depth int) []byte {
+	if depth <= 0 || at < 0 {
+		return nil // hostile or cyclic delta chain: give up, cold-start
+	}
+	s.warmMu.Lock()
+	snap, ok := s.warms[at]
+	s.warmMu.Unlock()
+	if ok {
+		return snap
+	}
+	rec, ok := s.store.LoadWarm(artifact.WarmKey(s.traceKey, at, s.warmParams))
+	if !ok || rec.At != at {
+		return nil
+	}
+	if rec.BaseAt == -1 {
+		snap = rec.Payload
+	} else {
+		base := s.warmAtDepth(rec.BaseAt, depth-1)
+		if base == nil {
+			return nil
+		}
+		var err error
+		if snap, err = warm.ApplyDelta(base, rec.Payload); err != nil {
+			return nil
+		}
+	}
+	s.warmMu.Lock()
+	s.warms[at] = snap
+	s.warmMu.Unlock()
+	return snap
+}
+
+// warmPlanUsable reports whether persisted warm state can serve the
+// plan's intervals, by probing the highest checkpoint boundary any
+// interval resumes from (reconstruction is cached, so the probe's work
+// is not wasted). It is a heuristic gate for the plan cache: boundary
+// chains usually persist or vanish together, and any straggler interval
+// still degrades to a cold start individually at run time.
+func (s *Stream) warmPlanUsable(plan Plan) bool {
+	if s.warmCfg == nil || len(plan.Intervals) == 0 {
+		return false
+	}
+	maxBegin := 0
+	for i := range plan.Intervals {
+		if b, _ := beginOf(plan, i); b > maxBegin {
+			maxBegin = b
+		}
+	}
+	at := maxBegin / s.ChunkLen * s.ChunkLen
+	if at == 0 {
+		return true // fresh empty state is definitionally available
+	}
+	return s.warmAt(int64(at)) != nil
+}
+
+// resumeWarmAt returns an emulator positioned at instruction index begin
+// plus the warm snapshot at begin, by restoring the nearest usable
+// checkpoint and rolling forward while feeding the roll-forward entries
+// to the warm model. The warm decision happens at the single boundary
+// whose checkpoint the resume actually uses: if warm state is
+// unavailable there, the interval cold-starts (nil snapshot) — the
+// result is then a superset of the cold path's work, never different
+// work. Boundary 0 always warms (the empty state is definitionally
+// available).
+func (s *Stream) resumeWarmAt(begin int64) (*emu.Emulator, []byte, error) {
+	for ci := begin / int64(s.ChunkLen); ci >= 0; ci-- {
+		at := ci * int64(s.ChunkLen)
+		var e *emu.Emulator
+		if ck := s.checkpointAt(at); ck != nil {
+			var err error
+			if e, err = emu.Resume(s.Prog, s.Init, ck); err != nil {
+				e = nil
+			}
+		}
+		if e == nil {
+			if at != 0 {
+				continue
+			}
+			e = emu.New(s.Prog) // boundary 0 needs no stored checkpoint
+		}
+		var ws *warm.State
+		if at == 0 {
+			ws = warm.New(*s.warmCfg)
+		} else if snap := s.warmAt(at); snap != nil {
+			var err error
+			if ws, err = warm.FromSnapshot(*s.warmCfg, snap); err != nil {
+				ws = nil
+			}
+		}
+		if ws == nil {
+			// Cold start: plain roll-forward, exactly the unwarmed path.
+			if err := e.StepN(begin - at); err != nil {
+				return nil, nil, err
+			}
+			return e, nil, nil
+		}
+		if begin > at {
+			rolled, _, err := trace.ForEachChunk(context.Background(), e, begin-at, warmRollChunk,
+				func(_ int64, chunk []trace.Entry) error {
+					ws.UpdateChunk(chunk)
+					return nil
+				})
+			if err != nil {
+				return nil, nil, err
+			}
+			if rolled != begin-at {
+				return nil, nil, fmt.Errorf("sampling: roll-forward from %d executed %d of %d instructions",
+					at, rolled, begin-at)
+			}
+		}
+		return e, ws.Snapshot(), nil
+	}
+	// No usable checkpoint anywhere: unreachable, since boundary 0
+	// synthesizes a fresh emulator; kept for symmetry with resumeAt.
+	e := emu.New(s.Prog)
+	if err := e.StepN(begin); err != nil {
+		return nil, nil, err
+	}
+	return e, nil, nil
+}
+
+// warmRollChunk is the buffered chunk length for warm roll-forwards: big
+// enough to amortize the callback, small enough to stay cache-friendly.
+const warmRollChunk = 1 << 16
+
 // Source binds a plan to the stream for RunPlan. Interval extraction is
 // safe for concurrent workers: each call resumes its own emulator, and
-// the shared checkpoint map is read-only after the build.
+// the shared checkpoint map is read-only after the build (the warm
+// snapshot cache has its own lock).
 func (s *Stream) Source(plan Plan) Source {
-	return &streamSource{s: s, plan: plan}
+	src := &streamSource{s: s, plan: plan}
+	if s.warmCfg != nil {
+		src.wc = newWarmCollector(len(plan.Intervals))
+	}
+	return src
 }
 
 type streamSource struct {
 	s    *Stream
 	plan Plan
+	wc   *warmCollector // nil = warming off
 }
 
 func (ss *streamSource) IntervalTrace(i int) (*trace.Trace, int, error) {
@@ -188,8 +416,18 @@ func (ss *streamSource) IntervalTrace(i int) (*trace.Trace, int, error) {
 		return nil, 0, fmt.Errorf("sampling: interval [%d,%d) out of range (stream %d)",
 			iv.Start, iv.End, ss.s.Total)
 	}
-	begin, warm := beginOf(ss.plan, i)
-	e, err := ss.s.resumeAt(int64(begin))
+	begin, warmN := beginOf(ss.plan, i)
+	var e *emu.Emulator
+	var err error
+	if ss.wc != nil {
+		var snap []byte
+		e, snap, err = ss.s.resumeWarmAt(int64(begin))
+		if err == nil {
+			ss.wc.set(i, snap, iv.Start, iv.End)
+		}
+	} else {
+		e, err = ss.s.resumeAt(int64(begin))
+	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("sampling: interval [%d,%d): %w", iv.Start, iv.End, err)
 	}
@@ -205,5 +443,11 @@ func (ss *streamSource) IntervalTrace(i int) (*trace.Trace, int, error) {
 	// Match the materialized Slice contract: an interval is an excerpt,
 	// not a program that halted.
 	sub.HitHalt = false
-	return sub, warm, nil
+	return sub, warmN, nil
+}
+
+func (ss *streamSource) IntervalWarm(i int) []byte { return ss.wc.get(i) }
+func (ss *streamSource) WarmInstallFailed(i int)   { ss.wc.installFailed(i) }
+func (ss *streamSource) warmStats() (int64, int64, int64) {
+	return ss.wc.stats()
 }

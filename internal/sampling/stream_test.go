@@ -190,11 +190,11 @@ func TestTraceSourceCheckpointRestore(t *testing.T) {
 	}
 	plan.Warmup = 400
 
-	cold, err := NewTraceSource(mat.Trace, plan, store, mat.TraceKey, true)
+	cold, err := NewTraceSource(mat.Trace, plan, store, mat.TraceKey, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := NewTraceSource(mat.Trace, plan, store, mat.TraceKey, true)
+	warm, err := NewTraceSource(mat.Trace, plan, store, mat.TraceKey, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

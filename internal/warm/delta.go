@@ -1,0 +1,90 @@
+package warm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Delta encoding between consecutive warm snapshots. Successive
+// boundary snapshots share most of their bytes (tag state churns
+// slowly relative to the snapshot cadence), so checkpointed warm state
+// is persisted as block deltas against the previous snapshot with
+// periodic keyframes. The codec is deliberately simple — fixed 64-byte
+// blocks, one flag byte per block — so a corrupted delta fails loudly
+// at Apply time rather than silently reconstructing garbage.
+
+// deltaBlock is the diff granularity in bytes.
+const deltaBlock = 64
+
+const (
+	blockSame    = 0 // block equals the base at the same offset
+	blockLiteral = 1 // block bytes follow inline
+)
+
+// EncodeDelta encodes full as a delta against base. Blocks that extend
+// past the end of the base (snapshots can change length when the store
+// count's section grows) are emitted as literals.
+func EncodeDelta(base, full []byte) []byte {
+	out := make([]byte, 0, 8+len(full)/deltaBlock+deltaBlock)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(full)))
+	for off := 0; off < len(full); off += deltaBlock {
+		end := off + deltaBlock
+		if end > len(full) {
+			end = len(full)
+		}
+		if end <= len(base) && bytes.Equal(full[off:end], base[off:end]) {
+			out = append(out, blockSame)
+			continue
+		}
+		out = append(out, blockLiteral)
+		out = append(out, full[off:end]...)
+	}
+	return out
+}
+
+// ApplyDelta reconstructs the full snapshot from base and a delta
+// produced by EncodeDelta against that base. Any structural defect is
+// an error.
+func ApplyDelta(base, delta []byte) ([]byte, error) {
+	if len(delta) < 8 {
+		return nil, fmt.Errorf("warm: delta truncated")
+	}
+	n := binary.LittleEndian.Uint64(delta)
+	if n > 1<<31 {
+		return nil, fmt.Errorf("warm: delta claims %d-byte snapshot", n)
+	}
+	full := make([]byte, 0, n)
+	in := delta[8:]
+	for int(n)-len(full) > 0 {
+		want := int(n) - len(full)
+		if want > deltaBlock {
+			want = deltaBlock
+		}
+		if len(in) == 0 {
+			return nil, fmt.Errorf("warm: delta truncated at offset %d", len(full))
+		}
+		flag := in[0]
+		in = in[1:]
+		switch flag {
+		case blockSame:
+			off := len(full)
+			if off+want > len(base) {
+				return nil, fmt.Errorf("warm: delta copies past end of base at offset %d", off)
+			}
+			full = append(full, base[off:off+want]...)
+		case blockLiteral:
+			if len(in) < want {
+				return nil, fmt.Errorf("warm: delta literal truncated at offset %d", len(full))
+			}
+			full = append(full, in[:want]...)
+			in = in[want:]
+		default:
+			return nil, fmt.Errorf("warm: delta has unknown block flag %d", flag)
+		}
+	}
+	if len(in) != 0 {
+		return nil, fmt.Errorf("warm: %d trailing delta bytes", len(in))
+	}
+	return full, nil
+}

@@ -1,0 +1,57 @@
+package warm
+
+import (
+	"testing"
+)
+
+// The warm hot loop must keep up with the emulator's streaming pass
+// (tens of millions of entries per second) without allocating; the
+// benchmark reports entries/sec and the guard below pins the zero-alloc
+// property so a regression fails CI rather than silently halving the
+// profiling pass's throughput.
+
+func BenchmarkWarmUpdate(b *testing.B) {
+	tr := testTrace(b, "gcc", 500_000)
+	cfg := testConfig()
+	s := New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &tr.Entries[i%len(tr.Entries)]
+		s.Update(e)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mentries/s")
+}
+
+func BenchmarkWarmSnapshot(b *testing.B) {
+	tr := testTrace(b, "gcc", 500_000)
+	s := warmOver(testConfig(), tr.Entries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Snapshot()
+	}
+}
+
+func BenchmarkWarmDelta(b *testing.B) {
+	tr := testTrace(b, "gcc", 500_000)
+	cfg := testConfig()
+	half := len(tr.Entries) / 2
+	base := warmOver(cfg, tr.Entries[:half]).Snapshot()
+	full := warmOver(cfg, tr.Entries).Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeDelta(base, full)
+	}
+}
+
+func TestUpdateDoesNotAllocate(t *testing.T) {
+	tr := testTrace(t, "gcc", 100_000)
+	s := New(testConfig())
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Update(&tr.Entries[i%len(tr.Entries)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Update allocates %.1f objects per entry; the hot loop must be allocation-free", allocs)
+	}
+}

@@ -1,9 +1,11 @@
 package dmdp
 
 import (
+	"context"
 	"testing"
 
 	"dmdp/internal/artifact"
+	"dmdp/internal/config"
 	"dmdp/internal/sampling"
 	"dmdp/internal/workload"
 )
@@ -45,11 +47,47 @@ func BenchmarkRollForwardSlice(b *testing.B) {
 	tr, plan, key := samplingBenchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sampling.NewTraceSource(tr, plan, nil, key, false); err != nil {
+		if _, err := sampling.NewTraceSource(tr, plan, nil, key, false, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// The cold/warm Execute pair times the whole sampled pipeline on the
+// streaming path — profiling pass, planning, interval simulation — with
+// functional warming off and on. The warming overhead rides the
+// profiling pass (tag-only updates at tens of Mentries/s) plus one
+// delta snapshot per checkpoint; BENCH_0006.json records the baseline
+// and the 100M-budget sampled-vs-full wall-clock gap.
+
+func benchmarkSampledExecute(b *testing.B, warm bool) {
+	spec, ok := workload.Get("gcc")
+	if !ok {
+		b.Fatal("gcc proxy missing")
+	}
+	prog, err := spec.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := sampling.Request{
+		Spec:     sampling.Spec{Count: samplingCount, Len: samplingIntervalLen, Warmup: samplingWarmup},
+		Budget:   samplingBenchBudget,
+		Jobs:     1,
+		TraceKey: artifact.TraceKey(spec.SourceHash(), samplingBenchBudget),
+		Prog:     prog,
+		Warm:     warm,
+	}
+	cfg := config.Default(config.DMDP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.Execute(context.Background(), cfg, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampledExecuteCold(b *testing.B) { benchmarkSampledExecute(b, false) }
+func BenchmarkSampledExecuteWarm(b *testing.B) { benchmarkSampledExecute(b, true) }
 
 // BenchmarkCheckpointRestore: identical extraction against a warm
 // checkpoint store — each begin image restores from its dirty-page delta
@@ -61,12 +99,12 @@ func BenchmarkCheckpointRestore(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Cold pass publishes the checkpoints the timed passes restore.
-	if _, err := sampling.NewTraceSource(tr, plan, store, key, true); err != nil {
+	if _, err := sampling.NewTraceSource(tr, plan, store, key, true, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sampling.NewTraceSource(tr, plan, store, key, true); err != nil {
+		if _, err := sampling.NewTraceSource(tr, plan, store, key, true, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
