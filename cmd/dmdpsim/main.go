@@ -25,6 +25,7 @@ import (
 	"dmdp/internal/artifact"
 	"dmdp/internal/asm"
 	"dmdp/internal/cliutil"
+	"dmdp/internal/core"
 	"dmdp/internal/isa"
 	"dmdp/internal/profiling"
 	"dmdp/internal/sampling"
@@ -42,6 +43,8 @@ func main() {
 		rob       = flag.Int("rob", 0, "ROB entries (0 = default 256)")
 		physRegs  = flag.Int("physregs", 0, "physical registers (0 = default 320)")
 		rmo       = flag.Bool("rmo", false, "use RMO consistency instead of TSO")
+		cores     = flag.Int("cores", 1, "run N copies of the workload on an N-core machine over a shared L2 (timing-only)")
+		mcSeed    = flag.Uint64("mcseed", 0, "multicore interleaving seed (with -cores > 1)")
 		list      = flag.Bool("list", false, "list proxy benchmarks and exit")
 		pipeview  = flag.Int("pipeview", 0, "render a pipeline view of the first N retired instructions")
 		src       = flag.Bool("source", false, "print the benchmark's generated assembly and exit")
@@ -186,6 +189,16 @@ func main() {
 		}
 	}
 
+	if *cores > 1 {
+		if *rmo {
+			fatal(fmt.Errorf("-cores requires TSO per-core consistency (drop -rmo)"))
+		}
+		if *sample != "" || *pipeview > 0 || *flipRate != 0 {
+			fatal(fmt.Errorf("-cores is incompatible with -sample, -pipeview and -flip"))
+		}
+		runMulticore(cfg, model, *cores, *mcSeed, loadTrace())
+		return
+	}
 	if *sample != "" {
 		runSampled(sampleRun{
 			cfg: cfg, model: model, budget: budget,
@@ -353,6 +366,46 @@ func runSampled(r sampleRun) {
 	}
 	fmt.Fprintf(os.Stderr, "sampled wall clock %.3fs (%d intervals, -j %d)\n",
 		sampledWall.Seconds(), len(out.Plan.Intervals), r.jobs)
+}
+
+// runMulticore replicates the workload trace across an N-core machine
+// over a shared L2 (timing-only: the semantic coupling layer is for
+// litmus programs; proxy workloads measure contention and coherence
+// traffic). Each core runs the same isolated trace, so the aggregate
+// IPC against the single-core run isolates shared-hierarchy effects.
+func runMulticore(cfg dmdp.Config, model dmdp.Model, n int, seed uint64, tr *dmdp.Trace) {
+	mc := core.DefaultMachineConfig(n, model, core.MemTSO)
+	mc.Core = cfg
+	mc.Semantics = false
+	mc.StallProb = 0 // deterministic lockstep; the seed only skews starts
+	mc.Seed = seed
+	traces := make([]*dmdp.Trace, n)
+	for i := range traces {
+		traces[i] = tr
+	}
+	m, err := core.NewMachine(mc, traces)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model              %s\n", model)
+	fmt.Printf("cores              %d (shared L2, seed %d)\n", n, seed)
+	fmt.Printf("global cycles      %d\n", st.GlobalCycles)
+	fmt.Printf("instructions       %d\n", st.Instructions)
+	fmt.Printf("aggregate IPC      %.3f\n", st.IPC())
+	fmt.Printf("remote invals      %d (T-SSBF stamps %d)\n", st.RemoteInvalidations, st.RemoteStamps)
+	fmt.Printf("SB drains          %d\n", st.DrainEvents)
+	for i := range st.PerCore {
+		c := &st.PerCore[i]
+		fmt.Printf("core %-2d            IPC %.3f, %d instr, %d reexecs, %d invals, L1 miss %.1f%%\n",
+			i, c.IPC(), c.Instructions, c.Reexecs, c.Invalidations, 100*c.L1MissRate)
+	}
+	if st.SimWallClockNS > 0 {
+		fmt.Fprintf(os.Stderr, "sim wall clock     %.3fs\n", float64(st.SimWallClockNS)/1e9)
+	}
 }
 
 func parseModel(s string) (dmdp.Model, error) {

@@ -28,6 +28,14 @@ type CommitRecord struct {
 	Addr    uint32
 	Size    uint8
 	Value   uint32
+
+	// Load provenance (multicore semantic coupling): the cycle the value
+	// was obtained, whether the retire-stage SVW check forced a
+	// re-execution (so Value was re-read with the store buffer drained),
+	// and whether the value came from the cache (vs an in-flight store).
+	ValueAt    int64
+	Reexecuted bool
+	FromCache  bool
 }
 
 // CommitHook observes a retiring instruction. A non-nil error vetoes the
@@ -58,6 +66,9 @@ func (c *Core) notifyCommit(in *inst) {
 	case in.isLoad():
 		rec.IsLoad = true
 		rec.Addr, rec.Size, rec.Value = e.Addr, e.Size, in.gotValue
+		rec.ValueAt = in.valueAt
+		rec.Reexecuted = in.didReexec
+		rec.FromCache = in.readCache
 	case in.isStore():
 		rec.IsStore = true
 		rec.Addr, rec.Size, rec.Value = e.Addr, e.Size, e.Value

@@ -138,6 +138,11 @@ type Core struct {
 	// Commit-stream observer (difftest lockstep; nil when unattached).
 	commitHook CommitHook
 
+	// drainHook observes each store-buffer entry as its bytes become
+	// globally visible (finishCommit). The multicore Machine uses it as
+	// the TSO store-visibility point; nil when unattached.
+	drainHook func(e *sbEntry)
+
 	// trackInval: record recently written lines for invalidation
 	// injection (periodic or fault-injected).
 	trackInval bool
@@ -552,6 +557,9 @@ func (c *Core) finishCommit(i int) {
 	c.progress = true
 	e := c.sb.entries[i]
 	c.image.Write(e.addr, e.size, e.value)
+	if c.drainHook != nil {
+		c.drainHook(&e)
+	}
 	if c.trackInval {
 		line := e.addr &^ uint32(c.hier.LineBytes()-1)
 		if len(c.recentLines) < 8 {

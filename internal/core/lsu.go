@@ -536,6 +536,7 @@ func (c *Core) verifyLoad(in *inst) verifyResult {
 			}
 		}
 		in.needReexec = false
+		in.didReexec = true
 		return verifyOK
 	}
 

@@ -118,6 +118,7 @@ type inst struct {
 	// Retire-time verification state machine.
 	verifyChecked bool
 	needReexec    bool
+	didReexec     bool // the SVW check forced a retire-time re-execution
 	tssbfSSN      int64
 	tssbfMatch    bool
 	tssbfCovered  bool

@@ -55,7 +55,9 @@ func (e *Emulator) setReg(r isa.Reg, v uint32) {
 	}
 }
 
-// Step executes one instruction and returns its trace entry.
+// Step executes one instruction and returns its trace entry. The
+// instruction semantics live in Exec; Step binds them to the emulator's
+// private memory image and register file.
 func (e *Emulator) Step() (trace.Entry, error) {
 	if e.halted {
 		return trace.Entry{}, fmt.Errorf("emu: step after halt")
@@ -64,137 +66,18 @@ func (e *Emulator) Step() (trace.Entry, error) {
 	if !ok {
 		return trace.Entry{}, fmt.Errorf("emu: PC 0x%08x outside text", e.PC)
 	}
-	ent := trace.Entry{PC: e.PC, Instr: in}
-	next := e.PC + 4
-
-	rs, rt := e.reg(in.Rs), e.reg(in.Rt)
-	switch in.Op {
-	case isa.OpNOP:
-	case isa.OpHALT:
-		e.halted = true
-	case isa.OpADD, isa.OpADDU:
-		e.setReg(in.Rd, rs+rt)
-	case isa.OpSUB, isa.OpSUBU:
-		e.setReg(in.Rd, rs-rt)
-	case isa.OpAND:
-		e.setReg(in.Rd, rs&rt)
-	case isa.OpOR:
-		e.setReg(in.Rd, rs|rt)
-	case isa.OpXOR:
-		e.setReg(in.Rd, rs^rt)
-	case isa.OpNOR:
-		e.setReg(in.Rd, ^(rs | rt))
-	case isa.OpSLT:
-		e.setReg(in.Rd, b2u(int32(rs) < int32(rt)))
-	case isa.OpSLTU:
-		e.setReg(in.Rd, b2u(rs < rt))
-	case isa.OpSLL:
-		e.setReg(in.Rd, rt<<uint32(in.Imm))
-	case isa.OpSRL:
-		e.setReg(in.Rd, rt>>uint32(in.Imm))
-	case isa.OpSRA:
-		e.setReg(in.Rd, uint32(int32(rt)>>uint32(in.Imm)))
-	case isa.OpSLLV:
-		e.setReg(in.Rd, rt<<(rs&31))
-	case isa.OpSRLV:
-		e.setReg(in.Rd, rt>>(rs&31))
-	case isa.OpSRAV:
-		e.setReg(in.Rd, uint32(int32(rt)>>(rs&31)))
-	case isa.OpMUL, isa.OpFMUL:
-		e.setReg(in.Rd, uint32(int64(int32(rs))*int64(int32(rt))))
-	case isa.OpMULH:
-		e.setReg(in.Rd, uint32(uint64(int64(int32(rs))*int64(int32(rt)))>>32))
-	case isa.OpDIVOP, isa.OpFDIV:
-		e.setReg(in.Rd, divS(rs, rt))
-	case isa.OpREMOP:
-		e.setReg(in.Rd, remS(rs, rt))
-	case isa.OpFADD:
-		e.setReg(in.Rd, rs+rt)
-	case isa.OpADDI, isa.OpADDIU:
-		e.setReg(in.Rt, rs+uint32(in.Imm))
-	case isa.OpANDI:
-		e.setReg(in.Rt, rs&uint32(uint16(in.Imm)))
-	case isa.OpORI:
-		e.setReg(in.Rt, rs|uint32(uint16(in.Imm)))
-	case isa.OpXORI:
-		e.setReg(in.Rt, rs^uint32(uint16(in.Imm)))
-	case isa.OpSLTI:
-		e.setReg(in.Rt, b2u(int32(rs) < in.Imm))
-	case isa.OpSLTIU:
-		e.setReg(in.Rt, b2u(rs < uint32(in.Imm)))
-	case isa.OpLUI:
-		e.setReg(in.Rt, uint32(in.Imm)<<16)
-	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW:
-		addr := rs + uint32(in.Imm)
-		size := in.Op.MemBytes()
-		if addr%size != 0 {
-			return trace.Entry{}, fmt.Errorf("emu: unaligned %s at 0x%08x (pc 0x%08x)", in.Op, addr, e.PC)
-		}
-		raw := e.Mem.Read(addr, size)
-		v := trace.ExtendLoad(in.Op, raw)
-		e.setReg(in.Rt, v)
-		ent.Addr, ent.Size, ent.Value = addr, uint8(size), v
-	case isa.OpSB, isa.OpSH, isa.OpSW:
-		addr := rs + uint32(in.Imm)
-		size := in.Op.MemBytes()
-		if addr%size != 0 {
-			return trace.Entry{}, fmt.Errorf("emu: unaligned %s at 0x%08x (pc 0x%08x)", in.Op, addr, e.PC)
-		}
-		mask := uint32(0xffffffff)
-		if size < 4 {
-			mask = 1<<(8*size) - 1
-		}
-		old := e.Mem.Read(addr, size)
-		ent.Silent = old == rt&mask
-		e.Mem.Write(addr, size, rt)
-		ent.Addr, ent.Size, ent.Value = addr, uint8(size), rt
-	case isa.OpBEQ:
-		ent.Taken = rs == rt
-		next = e.branchTarget(in, ent.Taken)
-	case isa.OpBNE:
-		ent.Taken = rs != rt
-		next = e.branchTarget(in, ent.Taken)
-	case isa.OpBLEZ:
-		ent.Taken = int32(rs) <= 0
-		next = e.branchTarget(in, ent.Taken)
-	case isa.OpBGTZ:
-		ent.Taken = int32(rs) > 0
-		next = e.branchTarget(in, ent.Taken)
-	case isa.OpBLTZ:
-		ent.Taken = int32(rs) < 0
-		next = e.branchTarget(in, ent.Taken)
-	case isa.OpBGEZ:
-		ent.Taken = int32(rs) >= 0
-		next = e.branchTarget(in, ent.Taken)
-	case isa.OpJ:
-		ent.Taken = true
-		next = in.Target << 2
-	case isa.OpJAL:
-		ent.Taken = true
-		e.setReg(isa.RA, e.PC+4)
-		next = in.Target << 2
-	case isa.OpJR:
-		ent.Taken = true
-		next = rs
-	case isa.OpJALR:
-		ent.Taken = true
-		e.setReg(in.Rd, e.PC+4)
-		next = rs
-	default:
-		return trace.Entry{}, fmt.Errorf("emu: unimplemented op %s at 0x%08x", in.Op, e.PC)
+	ent, err := Exec(in, e.PC, &e.Regs,
+		func(addr, size uint32) uint32 { return e.Mem.Read(addr, size) },
+		func(addr, size, val uint32) { e.Mem.Write(addr, size, val) })
+	if err != nil {
+		return trace.Entry{}, err
 	}
-
-	ent.Target = next
-	e.PC = next
+	if in.Op == isa.OpHALT {
+		e.halted = true
+	}
+	e.PC = ent.Target
 	e.count++
 	return ent, nil
-}
-
-func (e *Emulator) branchTarget(in isa.Instr, taken bool) uint32 {
-	if taken {
-		return e.PC + 4 + uint32(in.Imm)<<2
-	}
-	return e.PC + 4
 }
 
 func b2u(b bool) uint32 {

@@ -1,0 +1,169 @@
+package emu
+
+import (
+	"fmt"
+
+	"dmdp/internal/isa"
+	"dmdp/internal/trace"
+)
+
+// Exec executes one instruction against an explicit architectural state:
+// a register file plus load/store callbacks. It is the single source of
+// ISA semantics, shared by the sequential Emulator, the multicore
+// semantic coupling layer (which resolves load values from the global
+// memory order), and the litmus I2E reference executor (which threads
+// them through per-thread store buffers).
+//
+// regs is mutated in place ($zero and non-architectural registers are
+// never written). The returned trace entry carries PC/Instr/Addr/Size/
+// Value/Taken/Silent/Target exactly as Emulator.Step records them;
+// ent.Target is the next PC. HALT is left to the caller to detect
+// (in.Op == isa.OpHALT): Exec itself treats it as a no-op.
+//
+// For stores, load is invoked first on the same address to compute the
+// Silent flag (store of an identical value); callers whose load callback
+// has side effects must tolerate that probe.
+func Exec(in isa.Instr, pc uint32, regs *[isa.NumArchRegs]uint32,
+	load func(addr, size uint32) uint32,
+	store func(addr, size, val uint32)) (trace.Entry, error) {
+
+	rd := func(r isa.Reg) uint32 {
+		if r == isa.Zero || !r.Architectural() {
+			return 0
+		}
+		return regs[r]
+	}
+	wr := func(r isa.Reg, v uint32) {
+		if r != isa.Zero && r.Architectural() {
+			regs[r] = v
+		}
+	}
+	branchTarget := func(taken bool) uint32 {
+		if taken {
+			return pc + 4 + uint32(in.Imm)<<2
+		}
+		return pc + 4
+	}
+
+	ent := trace.Entry{PC: pc, Instr: in}
+	next := pc + 4
+
+	rs, rt := rd(in.Rs), rd(in.Rt)
+	switch in.Op {
+	case isa.OpNOP:
+	case isa.OpHALT:
+	case isa.OpADD, isa.OpADDU:
+		wr(in.Rd, rs+rt)
+	case isa.OpSUB, isa.OpSUBU:
+		wr(in.Rd, rs-rt)
+	case isa.OpAND:
+		wr(in.Rd, rs&rt)
+	case isa.OpOR:
+		wr(in.Rd, rs|rt)
+	case isa.OpXOR:
+		wr(in.Rd, rs^rt)
+	case isa.OpNOR:
+		wr(in.Rd, ^(rs | rt))
+	case isa.OpSLT:
+		wr(in.Rd, b2u(int32(rs) < int32(rt)))
+	case isa.OpSLTU:
+		wr(in.Rd, b2u(rs < rt))
+	case isa.OpSLL:
+		wr(in.Rd, rt<<uint32(in.Imm))
+	case isa.OpSRL:
+		wr(in.Rd, rt>>uint32(in.Imm))
+	case isa.OpSRA:
+		wr(in.Rd, uint32(int32(rt)>>uint32(in.Imm)))
+	case isa.OpSLLV:
+		wr(in.Rd, rt<<(rs&31))
+	case isa.OpSRLV:
+		wr(in.Rd, rt>>(rs&31))
+	case isa.OpSRAV:
+		wr(in.Rd, uint32(int32(rt)>>(rs&31)))
+	case isa.OpMUL, isa.OpFMUL:
+		wr(in.Rd, uint32(int64(int32(rs))*int64(int32(rt))))
+	case isa.OpMULH:
+		wr(in.Rd, uint32(uint64(int64(int32(rs))*int64(int32(rt)))>>32))
+	case isa.OpDIVOP, isa.OpFDIV:
+		wr(in.Rd, divS(rs, rt))
+	case isa.OpREMOP:
+		wr(in.Rd, remS(rs, rt))
+	case isa.OpFADD:
+		wr(in.Rd, rs+rt)
+	case isa.OpADDI, isa.OpADDIU:
+		wr(in.Rt, rs+uint32(in.Imm))
+	case isa.OpANDI:
+		wr(in.Rt, rs&uint32(uint16(in.Imm)))
+	case isa.OpORI:
+		wr(in.Rt, rs|uint32(uint16(in.Imm)))
+	case isa.OpXORI:
+		wr(in.Rt, rs^uint32(uint16(in.Imm)))
+	case isa.OpSLTI:
+		wr(in.Rt, b2u(int32(rs) < in.Imm))
+	case isa.OpSLTIU:
+		wr(in.Rt, b2u(rs < uint32(in.Imm)))
+	case isa.OpLUI:
+		wr(in.Rt, uint32(in.Imm)<<16)
+	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW:
+		addr := rs + uint32(in.Imm)
+		size := in.Op.MemBytes()
+		if addr%size != 0 {
+			return trace.Entry{}, fmt.Errorf("emu: unaligned %s at 0x%08x (pc 0x%08x)", in.Op, addr, pc)
+		}
+		raw := load(addr, size)
+		v := trace.ExtendLoad(in.Op, raw)
+		wr(in.Rt, v)
+		ent.Addr, ent.Size, ent.Value = addr, uint8(size), v
+	case isa.OpSB, isa.OpSH, isa.OpSW:
+		addr := rs + uint32(in.Imm)
+		size := in.Op.MemBytes()
+		if addr%size != 0 {
+			return trace.Entry{}, fmt.Errorf("emu: unaligned %s at 0x%08x (pc 0x%08x)", in.Op, addr, pc)
+		}
+		mask := uint32(0xffffffff)
+		if size < 4 {
+			mask = 1<<(8*size) - 1
+		}
+		old := load(addr, size)
+		ent.Silent = old == rt&mask
+		store(addr, size, rt)
+		ent.Addr, ent.Size, ent.Value = addr, uint8(size), rt
+	case isa.OpBEQ:
+		ent.Taken = rs == rt
+		next = branchTarget(ent.Taken)
+	case isa.OpBNE:
+		ent.Taken = rs != rt
+		next = branchTarget(ent.Taken)
+	case isa.OpBLEZ:
+		ent.Taken = int32(rs) <= 0
+		next = branchTarget(ent.Taken)
+	case isa.OpBGTZ:
+		ent.Taken = int32(rs) > 0
+		next = branchTarget(ent.Taken)
+	case isa.OpBLTZ:
+		ent.Taken = int32(rs) < 0
+		next = branchTarget(ent.Taken)
+	case isa.OpBGEZ:
+		ent.Taken = int32(rs) >= 0
+		next = branchTarget(ent.Taken)
+	case isa.OpJ:
+		ent.Taken = true
+		next = in.Target << 2
+	case isa.OpJAL:
+		ent.Taken = true
+		wr(isa.RA, pc+4)
+		next = in.Target << 2
+	case isa.OpJR:
+		ent.Taken = true
+		next = rs
+	case isa.OpJALR:
+		ent.Taken = true
+		wr(in.Rd, pc+4)
+		next = rs
+	default:
+		return trace.Entry{}, fmt.Errorf("emu: unimplemented op %s at 0x%08x", in.Op, pc)
+	}
+
+	ent.Target = next
+	return ent, nil
+}

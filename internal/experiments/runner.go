@@ -653,6 +653,7 @@ func All() []Experiment {
 		{"alt-fnf", "Alt: Fire-and-Forget comparison (§VII)", AltFnF, AltFnFRuns},
 		{"abl-prefetch", "Ablation: next-line L1 prefetcher", AblPrefetch, AblPrefetchRuns},
 		{"samp-err", "Methodology: sampled-vs-full IPC error (§V)", SampErr, SampErrRuns},
+		{"mc-ipc", "Multicore: aggregate IPC scaling over a shared L2", McIPC, McIPCRuns},
 	}
 }
 

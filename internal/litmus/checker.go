@@ -1,0 +1,290 @@
+package litmus
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmdp/internal/asm"
+	"dmdp/internal/config"
+	"dmdp/internal/core"
+	"dmdp/internal/difftest"
+	"dmdp/internal/emu"
+	"dmdp/internal/isa"
+	"dmdp/internal/progen"
+	"dmdp/internal/sched"
+	"dmdp/internal/trace"
+)
+
+// Options configures a litmus check run.
+type Options struct {
+	Model     core.MemModel // consistency contract to enforce and verify
+	CoreModel config.Model  // per-core timing model (zero value = Baseline)
+	Seeds     int           // interleaving seeds per test (default 50)
+	Jobs      int           // worker pool width (default 1)
+	Weaken    bool          // run the deliberately weakened machine
+	Minimize  bool          // ddmin the first violation to a small repro
+	MaxStates int           // oracle state cap (default 2M)
+	Stagger   int64         // interleaving start-stagger bound (default 256)
+	Budget    int64         // per-thread isolated emulation budget (default 20000)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds <= 0 {
+		o.Seeds = 50
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 1
+	}
+	if o.Stagger <= 0 {
+		o.Stagger = 256
+	}
+	if o.Budget <= 0 {
+		o.Budget = 20000
+	}
+	return o
+}
+
+// Violation is one simulator final state outside the I2E-allowed set.
+type Violation struct {
+	Test    string
+	Seed    uint64
+	Outcome string
+	Repro   *difftest.Repro // non-nil when minimization ran
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("litmus %s seed %d: outcome %q not allowed by the reference", v.Test, v.Seed, v.Outcome)
+}
+
+// Result is one litmus test's verdict across all interleaving seeds.
+type Result struct {
+	Test       string
+	Allowed    []string       // sorted I2E-allowed final states
+	Outcomes   map[string]int // observed final state -> #seeds
+	Violations []Violation
+}
+
+// Covered returns how many allowed states the simulator actually hit.
+func (r *Result) Covered() int {
+	n := 0
+	for _, a := range r.Allowed {
+		if r.Outcomes[a] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DigestLines renders the result deterministically: allowed set, then
+// observed outcomes sorted by state string. Identical inputs produce
+// byte-identical lines regardless of -j width or host.
+func (r *Result) DigestLines() []string {
+	lines := []string{fmt.Sprintf("test %s allowed=%d", r.Test, len(r.Allowed))}
+	for _, a := range r.Allowed {
+		lines = append(lines, "  allow "+a)
+	}
+	obs := make([]string, 0, len(r.Outcomes))
+	for s := range r.Outcomes {
+		obs = append(obs, s)
+	}
+	sort.Strings(obs)
+	for _, s := range obs {
+		lines = append(lines, fmt.Sprintf("  seen  %s x%d", s, r.Outcomes[s]))
+	}
+	for i := range r.Violations {
+		lines = append(lines, "  VIOLATION "+r.Violations[i].Outcome)
+	}
+	return lines
+}
+
+// Digest hashes a result set into one aggregate line.
+func Digest(results []*Result) string {
+	h := sha256.New()
+	for _, r := range results {
+		for _, l := range r.DigestLines() {
+			h.Write([]byte(l))
+			h.Write([]byte{'\n'})
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// prep assembles a litmus source and collects the per-thread isolated
+// traces the machine replays.
+func prep(lt progen.LitmusTest, budget int64) (*isa.Program, []*trace.Trace, error) {
+	p, err := asm.Assemble(lt.Source)
+	if err != nil {
+		return nil, nil, fmt.Errorf("litmus %s: assemble: %w", lt.Name, err)
+	}
+	traces := make([]*trace.Trace, lt.Threads)
+	for k := 0; k < lt.Threads; k++ {
+		entry, ok := p.Symbols[fmt.Sprintf("thread%d", k)]
+		if !ok {
+			return nil, nil, fmt.Errorf("litmus %s: no thread%d label", lt.Name, k)
+		}
+		tp := *p
+		tp.Entry = entry
+		tr, err := emu.Run(&tp, budget)
+		if err != nil {
+			return nil, nil, fmt.Errorf("litmus %s thread %d: %w", lt.Name, k, err)
+		}
+		if !tr.HitHalt {
+			return nil, nil, fmt.Errorf("litmus %s thread %d: no halt within %d instructions", lt.Name, k, budget)
+		}
+		traces[k] = tr
+	}
+	return p, traces, nil
+}
+
+// machineConfig builds the machine configuration for one seed.
+func machineConfig(lt progen.LitmusTest, opt Options, seed uint64) core.MachineConfig {
+	cfg := core.DefaultMachineConfig(lt.Threads, opt.CoreModel, opt.Model)
+	cfg.Seed = seed
+	cfg.Weaken = opt.Weaken
+	cfg.MaxStagger = opt.Stagger
+	cfg.MaxGlobalCycles = 10_000_000
+	return cfg
+}
+
+// runSeed executes one (test, seed) machine run and renders its final
+// state. Traces are shared read-only across concurrent runs.
+func runSeed(lt progen.LitmusTest, o *Oracle, traces []*trace.Trace, opt Options, seed uint64) (string, error) {
+	m, err := core.NewMachine(machineConfig(lt, opt, seed), traces)
+	if err != nil {
+		return "", err
+	}
+	if _, err := m.Run(); err != nil {
+		return "", err
+	}
+	return o.OutcomeOf(m), nil
+}
+
+// Check verifies one litmus test: enumerate the allowed set, sweep
+// interleaving seeds on a sched pool, compare. The returned Result is
+// deterministic (seed-indexed slots, no map-order dependence); err is
+// non-nil only for structural failures, not consistency violations.
+func Check(lt progen.LitmusTest, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	p, traces, err := prep(lt, opt.Budget)
+	if err != nil {
+		return nil, err
+	}
+	o, err := NewOracle(opt.Model, lt, p, traces, opt.MaxStates)
+	if err != nil {
+		return nil, err
+	}
+	allowed, err := o.Allowed()
+	if err != nil {
+		return nil, err
+	}
+	allowedSet := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		allowedSet[a] = true
+	}
+
+	outcomes := make([]string, opt.Seeds)
+	errs := make([]error, opt.Seeds)
+	sched.Pool(opt.Jobs, opt.Seeds, func(i int) {
+		outcomes[i], errs[i] = runSeed(lt, o, traces, opt, uint64(i))
+	})
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("litmus %s seed %d: %w", lt.Name, i, e)
+		}
+	}
+
+	res := &Result{Test: lt.Name, Allowed: allowed, Outcomes: make(map[string]int)}
+	for seed, out := range outcomes {
+		res.Outcomes[out]++
+		if !allowedSet[out] {
+			res.Violations = append(res.Violations, Violation{
+				Test: lt.Name, Seed: uint64(seed), Outcome: out,
+			})
+		}
+	}
+	if len(res.Violations) > 0 && opt.Minimize {
+		v := &res.Violations[0]
+		v.Repro = MinimizeViolation(lt, opt, v.Seed)
+	}
+	return res, nil
+}
+
+// stillViolates is the ddmin predicate: the candidate source must still
+// assemble, trace, enumerate, and produce an outcome outside its OWN
+// re-enumerated allowed set on the recorded seed (the allowed set is
+// re-derived per candidate — removing lines legitimately changes it).
+func stillViolates(lt progen.LitmusTest, opt Options, seed uint64) difftest.CheckFunc {
+	return func(src string) bool {
+		cand := lt
+		cand.Source = src
+		p, traces, err := prep(cand, opt.Budget)
+		if err != nil {
+			return false
+		}
+		o, err := NewOracle(opt.Model, cand, p, traces, opt.MaxStates)
+		if err != nil {
+			return false
+		}
+		allowed, err := o.Allowed()
+		if err != nil {
+			return false
+		}
+		out, err := runSeed(cand, o, traces, opt, seed)
+		if err != nil {
+			return false
+		}
+		for _, a := range allowed {
+			if a == out {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// MinimizeViolation delta-debugs a violating litmus test down to a
+// small source that still produces a disallowed outcome on the same
+// interleaving seed, reusing the difftest ddmin pipeline.
+func MinimizeViolation(lt progen.LitmusTest, opt Options, seed uint64) *difftest.Repro {
+	opt = opt.withDefaults()
+	check := stillViolates(lt, opt, seed)
+	if !check(lt.Source) {
+		return nil // not reproducible in isolation; keep the full source
+	}
+	return difftest.MinimizeSource(lt.Source, check)
+}
+
+// CheckAll runs a set of tests and aggregates: results in input order,
+// all violations, and the deterministic digest.
+func CheckAll(tests []progen.LitmusTest, opt Options) ([]*Result, []Violation, error) {
+	var results []*Result
+	var violations []Violation
+	for _, lt := range tests {
+		r, err := Check(lt, opt)
+		if err != nil {
+			return results, violations, err
+		}
+		results = append(results, r)
+		violations = append(violations, r.Violations...)
+	}
+	return results, violations, nil
+}
+
+// Suite builds the standard test list: every named shape plus nRandom
+// seeded random tests.
+func Suite(shapes []string, nRandom int, firstSeed uint64) ([]progen.LitmusTest, error) {
+	var tests []progen.LitmusTest
+	for _, name := range shapes {
+		lt, ok := progen.LitmusShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown litmus shape %q (have %s)", name, strings.Join(progen.LitmusShapeNames(), ", "))
+		}
+		tests = append(tests, lt)
+	}
+	for i := 0; i < nRandom; i++ {
+		tests = append(tests, progen.GenerateLitmus(firstSeed+uint64(i)))
+	}
+	return tests, nil
+}

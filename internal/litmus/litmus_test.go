@@ -1,0 +1,211 @@
+package litmus
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dmdp/internal/config"
+	"dmdp/internal/core"
+	"dmdp/internal/progen"
+)
+
+// checkNoGoroutineLeak snapshots the goroutine count and asserts (with
+// retries, since pool-worker exits are asynchronous) that it returns to
+// baseline — the PR 6 goleak-style gate without the dependency.
+func checkNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if n := runtime.NumGoroutine(); n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func allowedOf(t *testing.T, name string, model core.MemModel) []string {
+	t.Helper()
+	lt, ok := progen.LitmusShapeByName(name)
+	if !ok {
+		t.Fatalf("no shape %s", name)
+	}
+	p, traces, err := prep(lt, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOracle(model, lt, p, traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed, err := o.Allowed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return allowed
+}
+
+func contains(set []string, s string) bool {
+	for _, a := range set {
+		if a == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestOracleSB: the canonical discriminator. SC forbids r1=r2=0; TSO
+// allows it (both stores buffered past both loads).
+func TestOracleSB(t *testing.T) {
+	weak := "0:t0=0 1:t0=0 mem:x=1 mem:y=1"
+	sc := allowedOf(t, "SB", core.MemSC)
+	if len(sc) != 3 || contains(sc, weak) {
+		t.Fatalf("SC allowed set wrong: %v", sc)
+	}
+	tso := allowedOf(t, "SB", core.MemTSO)
+	if len(tso) != 4 || !contains(tso, weak) {
+		t.Fatalf("TSO allowed set wrong: %v", tso)
+	}
+}
+
+// TestOracleMPLBCoRRIRIW: shapes whose weak outcomes are forbidden
+// under BOTH models (TSO preserves load-load, store-store and
+// coherence order).
+func TestOracleMPLBCoRRIRIW(t *testing.T) {
+	for _, model := range []core.MemModel{core.MemSC, core.MemTSO} {
+		if s := allowedOf(t, "MP", model); contains(s, "1:t0=1 1:t1=0 mem:data=1 mem:flag=1") {
+			t.Errorf("%v: MP allows flag-without-data: %v", model, s)
+		}
+		for _, s := range allowedOf(t, "LB", model) {
+			if strings.Contains(s, "0:t0=1 1:t0=1") {
+				t.Errorf("%v: LB allows r1=r2=1: %v", model, s)
+			}
+		}
+		if s := allowedOf(t, "CoRR", model); contains(s, "1:t0=2 1:t1=1 mem:x=2") {
+			t.Errorf("%v: CoRR allows new-then-old: %v", model, s)
+		}
+		if s := allowedOf(t, "IRIW", model); contains(s, "2:t0=1 2:t1=0 3:t0=1 3:t1=0 mem:x=1 mem:y=1") {
+			t.Errorf("%v: IRIW allows divergent write orders: %v", model, s)
+		}
+	}
+}
+
+// TestOracleCoRRMonotone: every TSO-allowed CoRR outcome respects
+// coherence (a later read of the same word never sees an older value).
+func TestOracleCoRRMonotone(t *testing.T) {
+	for _, s := range allowedOf(t, "CoRR", core.MemTSO) {
+		var r1, r2, memx uint32
+		if _, err := fmt.Sscanf(s, "1:t0=%d 1:t1=%d mem:x=%d", &r1, &r2, &memx); err != nil {
+			t.Fatalf("bad outcome %q: %v", s, err)
+		}
+		if r1 > r2 {
+			t.Errorf("CoRR outcome %q violates coherence monotonicity", s)
+		}
+	}
+}
+
+// TestCheckEnforcedShapes: the full checker over every named shape
+// under both models with the DMDP core: zero violations, and the
+// digest is identical across -j widths (satellite 2's -j1/-j8 gate).
+func TestCheckEnforcedShapes(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	tests, err := Suite(progen.LitmusShapeNames(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []core.MemModel{core.MemSC, core.MemTSO} {
+		opt := Options{Model: model, CoreModel: config.DMDP, Seeds: 20}
+		opt.Jobs = 1
+		r1, v1, err := CheckAll(tests, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		opt.Jobs = 8
+		r8, v8, err := CheckAll(tests, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if len(v1) != 0 || len(v8) != 0 {
+			t.Fatalf("%v: enforced machine violated: %+v %+v", model, v1, v8)
+		}
+		if Digest(r1) != Digest(r8) {
+			t.Fatalf("%v: digest differs between -j1 and -j8", model)
+		}
+	}
+}
+
+// TestCheckRandomSuite: seeded random aliasing tests stay within the
+// allowed set under the enforced machine.
+func TestCheckRandomSuite(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	tests, err := Suite(nil, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []core.MemModel{core.MemSC, core.MemTSO} {
+		_, viol, err := CheckAll(tests, Options{Model: model, CoreModel: config.DMDP, Seeds: 10, Jobs: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if len(viol) != 0 {
+			t.Fatalf("%v: random suite violations: %+v", model, viol)
+		}
+	}
+}
+
+// TestCheckWeakenedCaughtAndMinimized: the deliberately weakened build
+// must be caught and the violation ddmin-ed to a <=50-instruction
+// runnable repro — the acceptance criterion for the whole harness.
+func TestCheckWeakenedCaughtAndMinimized(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	lt, _ := progen.LitmusShapeByName("SB")
+	res, err := Check(lt, Options{
+		Model: core.MemSC, CoreModel: config.DMDP,
+		Seeds: 200, Jobs: 8, Weaken: true, Minimize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("weakened machine produced no violation in 200 seeds")
+	}
+	v := &res.Violations[0]
+	if v.Repro == nil {
+		t.Fatal("violation was not minimized")
+	}
+	if v.Repro.Static > 50 {
+		t.Fatalf("minimized repro has %d static instructions (want <=50):\n%s", v.Repro.Static, v.Repro.Source)
+	}
+}
+
+// TestCheckDeterministicDigest: running the identical check twice gives
+// byte-identical digest lines (no map-iteration order anywhere).
+func TestCheckDeterministicDigest(t *testing.T) {
+	lt, _ := progen.LitmusShapeByName("MP")
+	opt := Options{Model: core.MemTSO, CoreModel: config.DMDP, Seeds: 15, Jobs: 4}
+	a, err := Check(lt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Check(lt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := strings.Join(a.DigestLines(), "\n"), strings.Join(b.DigestLines(), "\n")
+	if la != lb {
+		t.Fatalf("digest lines differ between identical runs:\n%s\n----\n%s", la, lb)
+	}
+}

@@ -1,0 +1,157 @@
+package memdep
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven coverage of the remote-invalidation path (paper §IV-F):
+// InvalidateLine stamps every word of the line with InvalidatedSSN, and
+// the sentinel's interactions with real stores, byte-access bits, the
+// conservative fallback and FIFO eviction all have consistency
+// consequences the multicore machine depends on.
+func TestTSSBFRemoteInvalidationTable(t *testing.T) {
+	const line = uint32(0x4000)
+	cases := []struct {
+		name  string
+		setup func(f *TSSBF)
+
+		lookupAddr uint32
+		lookupBAB  uint8
+
+		wantSSN      int64
+		wantTagMatch bool
+		wantCovered  bool
+	}{
+		{
+			name:       "sentinel stamps every word of the line",
+			setup:      func(f *TSSBF) { f.InvalidateLine(line, 64) },
+			lookupAddr: line + 60, lookupBAB: 0xf,
+			wantSSN: InvalidatedSSN, wantTagMatch: true, wantCovered: true,
+		},
+		{
+			name:       "sentinel covers any sub-word access",
+			setup:      func(f *TSSBF) { f.InvalidateLine(line, 64) },
+			lookupAddr: line + 4, lookupBAB: 0b0010,
+			wantSSN: InvalidatedSSN, wantTagMatch: true, wantCovered: true,
+		},
+		{
+			name: "sentinel shadows an older real store",
+			setup: func(f *TSSBF) {
+				f.Insert(line, 0xf, 100)
+				f.InvalidateLine(line, 4)
+			},
+			lookupAddr: line, lookupBAB: 0xf,
+			wantSSN: InvalidatedSSN, wantTagMatch: true, wantCovered: true,
+		},
+		{
+			name: "younger real store shadows the sentinel",
+			setup: func(f *TSSBF) {
+				f.InvalidateLine(line, 4)
+				f.Insert(line, 0b0011, 200)
+			},
+			lookupAddr: line, lookupBAB: 0b0001,
+			// Correct: the local store is now the youngest writer of those
+			// bytes, and a load cloaked onto it forwards its value.
+			wantSSN: 200, wantTagMatch: true, wantCovered: true,
+		},
+		{
+			name: "disjoint bytes of a post-invalidation store still hit the sentinel",
+			setup: func(f *TSSBF) {
+				f.InvalidateLine(line, 4)
+				f.Insert(line, 0b0011, 200) // local store wrote the low half only
+			},
+			lookupAddr: line, lookupBAB: 0b1100,
+			wantSSN: InvalidatedSSN, wantTagMatch: true, wantCovered: true,
+		},
+		{
+			name: "conservative fallback ignores the sentinel as a lower bound",
+			setup: func(f *TSSBF) {
+				// Same set, different word: a tag miss falls back to the
+				// set-minimum SSN. The sentinel must never be that minimum
+				// while a real store is present (it would turn the lower
+				// bound into MaxInt64 and force re-execution of everything
+				// aliasing the set).
+				f.Insert(line, 0xf, 7)
+				f.InvalidateLine(line, 4)
+			},
+			lookupAddr: aliasOf(line), // same set index, different tag
+			lookupBAB:  0xf,
+			wantSSN:    7, wantTagMatch: false, wantCovered: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := NewTSSBF(DefaultTSSBFConfig())
+			tc.setup(f)
+			ssn, match, covered := f.LookupCovering(tc.lookupAddr, tc.lookupBAB)
+			if ssn != tc.wantSSN || match != tc.wantTagMatch || covered != tc.wantCovered {
+				t.Fatalf("LookupCovering(0x%x, %#b) = (%d, %v, %v), want (%d, %v, %v)",
+					tc.lookupAddr, tc.lookupBAB, ssn, match, covered,
+					tc.wantSSN, tc.wantTagMatch, tc.wantCovered)
+			}
+			if got := f.Lookup(tc.lookupAddr, tc.lookupBAB); got != tc.wantSSN {
+				t.Fatalf("Lookup = %d, want %d", got, tc.wantSSN)
+			}
+		})
+	}
+}
+
+// aliasOf finds a different word address mapping to the same filter set
+// (the index hash folds upper address bits, so a fixed stride does not
+// alias reliably).
+func aliasOf(addr uint32) uint32 {
+	f := NewTSSBF(DefaultTSSBFConfig())
+	for a := addr + 4; ; a += 4 {
+		if f.index(a) == f.index(addr) && f.tag(a) != f.tag(addr) {
+			return a
+		}
+	}
+}
+
+// The sentinel is only useful if it is strictly greater than every SSN a
+// real store can carry, so it fails the cache-sourced (>) and
+// store-sourced (!=) checks for ANY bypass/vulnerability SSN.
+func TestInvalidatedSSNSentinelProperties(t *testing.T) {
+	if InvalidatedSSN != math.MaxInt64 {
+		t.Fatalf("InvalidatedSSN = %d, want math.MaxInt64", int64(InvalidatedSSN))
+	}
+	for _, real := range []int64{0, 1, 1 << 20, 1 << 40, math.MaxInt64 - 1} {
+		if InvalidatedSSN <= real {
+			t.Fatalf("sentinel not above real SSN %d", real)
+		}
+		if !NeedsReexecCacheSourced(InvalidatedSSN, real) {
+			t.Errorf("cache-sourced check passed against SSN %d", real)
+		}
+		if !NeedsReexecStoreSourced(InvalidatedSSN, real) {
+			t.Errorf("store-sourced check passed against SSN %d", real)
+		}
+	}
+}
+
+// FIFO eviction is the sentinel's documented hole: enough later stores
+// aliasing the same set push the stamp out, and the filter's answer
+// degrades to the conservative set minimum — which no longer forces
+// re-execution. The multicore machine closes this hole with its
+// retire-time backstop re-read; this test pins the hole itself so the
+// backstop's reason-to-exist stays visible.
+func TestTSSBFSentinelFIFOEviction(t *testing.T) {
+	cfg := DefaultTSSBFConfig()
+	f := NewTSSBF(cfg)
+	f.InvalidateLine(0x8000, 4)
+	if got := f.Lookup(0x8000, 0xf); got != InvalidatedSSN {
+		t.Fatalf("sentinel not installed: %d", got)
+	}
+	// Fill the set with younger real stores to the same word: each insert
+	// appends a fresh FIFO entry, so Ways inserts evict the stamp.
+	for i := 0; i < cfg.Ways; i++ {
+		f.Insert(0x8000, 0xf, int64(1000+i))
+	}
+	got, match, _ := f.LookupCovering(0x8000, 0xf)
+	if got == InvalidatedSSN {
+		t.Fatal("sentinel survived a full set of younger inserts; FIFO eviction broken")
+	}
+	if !match || got != int64(1000+cfg.Ways-1) {
+		t.Fatalf("youngest real store must win after eviction: ssn=%d match=%v", got, match)
+	}
+}

@@ -1,0 +1,271 @@
+package progen
+
+import (
+	"fmt"
+	"strings"
+
+	"dmdp/internal/isa"
+)
+
+// This file generates multi-threaded litmus tests for the multicore
+// machine (internal/core.Machine) and its I2E reference checker
+// (internal/litmus). A litmus test is a single assembly source with one
+// entry label per thread (thread0:, thread1:, ...) over a shared .data
+// section, plus an observation spec naming the registers and shared
+// words that make up the final state.
+//
+// The trace-driven multicore design imposes one invariant on every
+// litmus program: control flow, memory addresses and store values must
+// not depend on values loaded from shared memory (each core replays an
+// isolated per-thread trace; only loaded VALUES are re-resolved at
+// retire). The generator guarantees this structurally — shared loads
+// only ever target dedicated observation registers that nothing reads,
+// addresses come from `la`, and stores write constants.
+//
+// Thread body layout (the prelude engineers a real race window):
+//
+//	threadK: la pointers (shared vars, private line)
+//	         warm loads of every shared line this thread loads
+//	         counted delay loop      (lets the warming misses settle)
+//	         cold private-line load  (widens the speculation window:
+//	                                  racing loads sample long before
+//	                                  they can retire)
+//	         racing load/store sequence
+//	         halt
+//
+// Register conventions (fixed, so the event extractor can distinguish
+// racing loads from plumbing): observation registers $t0..$t6; $t7
+// store-data; $t8 warm/window scratch; $t9 delay counter; $s0..$s3
+// shared-variable pointers; $s7 private-line pointer.
+
+// LitmusObs is one observed slot of a litmus test's final state: a
+// register of one thread, or (Thread == -1) a shared memory word.
+type LitmusObs struct {
+	Thread int
+	Reg    isa.Reg // register observations
+	Sym    string  // memory observations: shared-variable symbol
+	Name   string  // stable display name, e.g. "0:t3" or "mem:x"
+}
+
+// LitmusTest is a generated multi-threaded litmus program.
+type LitmusTest struct {
+	Name    string
+	Threads int
+	Source  string
+	Shared  []string // shared-variable symbols (each one aligned word)
+	Obs     []LitmusObs
+}
+
+// litmusOp is one racing operation of one thread.
+type litmusOp struct {
+	store  bool
+	v      int    // shared-variable index
+	off    uint32 // byte offset inside the variable's word
+	size   uint32 // 1, 2 or 4
+	val    uint32 // store data
+	reg    string // load destination ($t0..$t6)
+	signed bool   // lb/lh instead of lbu/lhu
+}
+
+// obsRegPool are the per-thread observation registers, in allocation
+// order. Litmus threads are capped at len(obsRegPool) racing loads.
+var obsRegPool = []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6"}
+
+// LitmusMaxLoads is the per-thread racing-load cap (len(obsRegPool)).
+const LitmusMaxLoads = 7
+
+const litmusDelayIters = 150
+
+var loadMnemonic = map[uint32][2]string{1: {"lbu", "lb"}, 2: {"lhu", "lh"}, 4: {"lw", "lw"}}
+var storeMnemonic = map[uint32]string{1: "sb", 2: "sh", 4: "sw"}
+
+// buildLitmus assembles the source and observation spec for the given
+// per-thread racing sequences. vars names the shared variables;
+// sameLine packs them into one cache line (false-sharing stress)
+// instead of one line each.
+func buildLitmus(name string, vars []string, sameLine bool, threads [][]litmusOp) LitmusTest {
+	var b strings.Builder
+	line := func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	line("# litmus %s: %d threads, %d shared vars", name, len(threads), len(vars))
+	line("\t.data")
+	for i, v := range vars {
+		if i == 0 || !sameLine {
+			line("\t.align 6")
+		}
+		line("%s:\t.word 0", v)
+	}
+	for k := range threads {
+		line("\t.align 6")
+		line("t%d_priv:\t.word 0", k)
+	}
+	line("\t.text")
+
+	var obs []LitmusObs
+	for k, ops := range threads {
+		line("thread%d:", k)
+		// Pointer setup: $s0..$s3 for shared vars, $s7 for the private line.
+		used := map[int]bool{}
+		loads := false
+		for _, op := range ops {
+			used[op.v] = true
+			loads = loads || !op.store
+		}
+		for v := range vars {
+			if used[v] {
+				line("\tla $s%d, %s", v, vars[v])
+			}
+		}
+		if loads {
+			line("\tla $s7, t%d_priv", k)
+			// Warm every shared line this thread loads.
+			warmed := map[int]bool{}
+			for _, op := range ops {
+				if !op.store && !warmed[op.v] {
+					warmed[op.v] = true
+					line("\tlw $t8, 0($s%d)", op.v)
+				}
+			}
+		}
+		line("\tli $t9, %d", litmusDelayIters)
+		line("t%d_d:\taddi $t9, $t9, -1", k)
+		line("\tbnez $t9, t%d_d", k)
+		if loads {
+			line("\tlw $t8, 0($s7)")
+		}
+		for _, op := range ops {
+			if op.store {
+				line("\tli $t7, %d", op.val)
+				line("\t%s $t7, %d($s%d)", storeMnemonic[op.size], op.off, op.v)
+				continue
+			}
+			mn := loadMnemonic[op.size][0]
+			if op.signed {
+				mn = loadMnemonic[op.size][1]
+			}
+			line("\t%s %s, %d($s%d)", mn, op.reg, op.off, op.v)
+			r, _ := isa.RegByName(op.reg)
+			obs = append(obs, LitmusObs{
+				Thread: k, Reg: r,
+				Name: fmt.Sprintf("%d:%s", k, strings.TrimPrefix(op.reg, "$")),
+			})
+		}
+		line("\thalt")
+	}
+	for _, v := range vars {
+		obs = append(obs, LitmusObs{Thread: -1, Sym: v, Name: "mem:" + v})
+	}
+	return LitmusTest{
+		Name:    name,
+		Threads: len(threads),
+		Source:  b.String(),
+		Shared:  append([]string(nil), vars...),
+		Obs:     obs,
+	}
+}
+
+func st(v int, val uint32) litmusOp { return litmusOp{store: true, v: v, size: 4, val: val} }
+func ld(v int, reg string) litmusOp { return litmusOp{v: v, size: 4, reg: reg} }
+
+// LitmusShapes returns the classic named shapes: store buffering (SB),
+// message passing (MP), load buffering (LB), independent reads of
+// independent writes (IRIW) and coherent read-read (CoRR).
+func LitmusShapes() []LitmusTest {
+	return []LitmusTest{
+		buildLitmus("SB", []string{"x", "y"}, false, [][]litmusOp{
+			{st(0, 1), ld(1, "$t0")},
+			{st(1, 1), ld(0, "$t0")},
+		}),
+		buildLitmus("MP", []string{"data", "flag"}, false, [][]litmusOp{
+			{st(0, 1), st(1, 1)},
+			{ld(1, "$t0"), ld(0, "$t1")},
+		}),
+		buildLitmus("LB", []string{"x", "y"}, false, [][]litmusOp{
+			{ld(0, "$t0"), st(1, 1)},
+			{ld(1, "$t0"), st(0, 1)},
+		}),
+		buildLitmus("IRIW", []string{"x", "y"}, false, [][]litmusOp{
+			{st(0, 1)},
+			{st(1, 1)},
+			{ld(0, "$t0"), ld(1, "$t1")},
+			{ld(1, "$t0"), ld(0, "$t1")},
+		}),
+		buildLitmus("CoRR", []string{"x"}, false, [][]litmusOp{
+			{st(0, 1), st(0, 2)},
+			{ld(0, "$t0"), ld(0, "$t1")},
+		}),
+	}
+}
+
+// LitmusShapeByName resolves a named shape (case-sensitive).
+func LitmusShapeByName(name string) (LitmusTest, bool) {
+	for _, s := range LitmusShapes() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return LitmusTest{}, false
+}
+
+// LitmusShapeNames lists the named shapes in declaration order.
+func LitmusShapeNames() []string {
+	shapes := LitmusShapes()
+	names := make([]string, len(shapes))
+	for i, s := range shapes {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// GenerateLitmus produces a seeded random litmus test: 2-4 threads over
+// 1-3 shared words (sometimes deliberately packed into one cache line),
+// each thread racing 1-5 word or sub-word accesses with constant store
+// data. The output is a pure function of the seed.
+func GenerateLitmus(seed uint64) LitmusTest {
+	r := rng{s: seed}
+	nThreads := 2 + r.intn(3)
+	nVars := 1 + r.intn(3)
+	sameLine := nVars > 1 && r.chance(0.3)
+	vars := []string{"x", "y", "z"}[:nVars]
+
+	// Per-thread op budget shrinks with the thread count: the reference
+	// executor's state space is the product of per-thread interleaving
+	// positions (and, under TSO, drain points), so 4 threads x 5 ops
+	// would enumerate millions of final states. 2x5, 3x3 and 4x2 keep
+	// every generated test exhaustively checkable.
+	maxOps := []int{5, 3, 2}[nThreads-2]
+	threads := make([][]litmusOp, nThreads)
+	for k := range threads {
+		nOps := 1 + r.intn(maxOps)
+		if nOps > LitmusMaxLoads {
+			nOps = LitmusMaxLoads
+		}
+		loadCount := 0
+		for i := 0; i < nOps; i++ {
+			v := r.intn(nVars)
+			size := uint32(4)
+			if r.chance(0.3) {
+				size = []uint32{1, 2}[r.intn(2)]
+			}
+			off := uint32(r.intn(int(4/size))) * size
+			if r.chance(0.5) || loadCount == LitmusMaxLoads {
+				// Store data is a nonzero constant identifying (thread, op):
+				// fits a byte so sub-word stores remain distinguishing.
+				val := uint32(1 + (k*8+i)*3%255)
+				threads[k] = append(threads[k], litmusOp{
+					store: true, v: v, off: off, size: size, val: val,
+				})
+				continue
+			}
+			threads[k] = append(threads[k], litmusOp{
+				v: v, off: off, size: size,
+				reg:    obsRegPool[loadCount],
+				signed: r.chance(0.3),
+			})
+			loadCount++
+		}
+	}
+	return buildLitmus(fmt.Sprintf("rand-%d", seed), vars, sameLine, threads)
+}

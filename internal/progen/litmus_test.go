@@ -1,0 +1,87 @@
+package progen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dmdp/internal/asm"
+	"dmdp/internal/emu"
+	"dmdp/internal/progen"
+)
+
+// checkLitmus assembles a litmus test and emulates every thread in
+// isolation, verifying the structural invariants the multicore machine
+// depends on: every thread entry exists, halts, and stays within a
+// small dynamic budget.
+func checkLitmus(t *testing.T, lt progen.LitmusTest) {
+	t.Helper()
+	p, err := asm.Assemble(lt.Source)
+	if err != nil {
+		t.Fatalf("%s: assemble: %v\n%s", lt.Name, err, lt.Source)
+	}
+	for _, sym := range lt.Shared {
+		if _, ok := p.Symbols[sym]; !ok {
+			t.Fatalf("%s: shared symbol %q missing", lt.Name, sym)
+		}
+	}
+	for k := 0; k < lt.Threads; k++ {
+		entry, ok := p.Symbols[fmt.Sprintf("thread%d", k)]
+		if !ok {
+			t.Fatalf("%s: thread%d label missing", lt.Name, k)
+		}
+		tp := *p
+		tp.Entry = entry
+		tr, err := emu.Run(&tp, 5000)
+		if err != nil {
+			t.Fatalf("%s thread%d: emulate: %v", lt.Name, k, err)
+		}
+		if !tr.HitHalt {
+			t.Fatalf("%s thread%d: did not halt within budget", lt.Name, k)
+		}
+	}
+	if len(lt.Obs) == 0 {
+		t.Fatalf("%s: no observations", lt.Name)
+	}
+	for _, o := range lt.Obs {
+		if o.Thread >= lt.Threads {
+			t.Fatalf("%s: observation %s names thread %d of %d", lt.Name, o.Name, o.Thread, lt.Threads)
+		}
+		if o.Thread < 0 && o.Sym == "" {
+			t.Fatalf("%s: memory observation without symbol", lt.Name)
+		}
+	}
+}
+
+func TestLitmusShapes(t *testing.T) {
+	shapes := progen.LitmusShapes()
+	if len(shapes) != 5 {
+		t.Fatalf("expected 5 named shapes, got %d", len(shapes))
+	}
+	for _, lt := range shapes {
+		checkLitmus(t, lt)
+	}
+	if _, ok := progen.LitmusShapeByName("SB"); !ok {
+		t.Fatal("SB shape not resolvable by name")
+	}
+	if _, ok := progen.LitmusShapeByName("nope"); ok {
+		t.Fatal("bogus shape resolved")
+	}
+}
+
+func TestLitmusRandomGeneration(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		checkLitmus(t, progen.GenerateLitmus(seed))
+	}
+}
+
+func TestLitmusDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 7, 99999} {
+		a, b := progen.GenerateLitmus(seed), progen.GenerateLitmus(seed)
+		if a.Source != b.Source || a.Name != b.Name {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+	if progen.GenerateLitmus(1).Source == progen.GenerateLitmus(2).Source {
+		t.Fatal("different seeds produced identical tests")
+	}
+}
